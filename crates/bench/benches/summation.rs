@@ -1,0 +1,39 @@
+//! Summation-kernel costs: what the harness pays for compensated
+//! arithmetic (and why it can afford to use it everywhere it measures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gr_numerics::{dd::dd_sum, neumaier_sum, pairwise_sum};
+
+fn data(n: usize) -> Vec<f64> {
+    let mut x = 0x9E3779B97F4A7C15u64;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 1e6
+        })
+        .collect()
+}
+
+fn bench_sums(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sum_kernels");
+    for n in [1_000usize, 100_000] {
+        let v = data(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("naive", n), &v, |b, v| {
+            b.iter(|| v.iter().sum::<f64>())
+        });
+        group.bench_with_input(BenchmarkId::new("pairwise", n), &v, |b, v| {
+            b.iter(|| pairwise_sum(v))
+        });
+        group.bench_with_input(BenchmarkId::new("neumaier", n), &v, |b, v| {
+            b.iter(|| neumaier_sum(v))
+        });
+        group.bench_with_input(BenchmarkId::new("double_double", n), &v, |b, v| {
+            b.iter(|| dd_sum(v).to_f64())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sums);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Topology-construction costs (CSR build is a fixed cost per experiment;
+//! this keeps it visibly negligible next to simulation time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gr_topology::{hypercube, random_regular, torus3d};
+
+fn bench_builders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_build");
+    group.bench_function("hypercube_d10_1024", |b| b.iter(|| hypercube(10)));
+    group.bench_function("torus3d_16_4096", |b| b.iter(|| torus3d(16, 16, 16)));
+    group.bench_function("random_regular_1024_k6", |b| {
+        b.iter(|| random_regular(1024, 6, 42))
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let g = hypercube(12);
+    let mut group = c.benchmark_group("topology_query");
+    group.bench_function("neighbor_slot_hit", |b| {
+        b.iter(|| g.neighbor_slot(100, 100 ^ 8))
+    });
+    group.bench_function("neighbors_scan", |b| {
+        b.iter(|| g.neighbors(100).iter().copied().sum::<u32>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builders, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! The benches gate the paper's efficiency claim ("the computational
+//! efficiency of the PF algorithm in a failure-free environment is fully
+//! preserved in our new PCF algorithm") and provide per-figure kernels so
+//! regressions in the experiment harness are visible.
+
+use gr_reduction::{AggregateKind, InitialData};
+use gr_topology::{hypercube, Graph};
+
+/// Standard benchmark fixture: a hypercube and uniform AVG data.
+pub fn fixture(dim: u32, seed: u64) -> (Graph, InitialData<f64>) {
+    let n = 1usize << dim;
+    let g = hypercube(dim);
+    let d = InitialData::uniform_random(n, AggregateKind::Average, seed);
+    (g, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_shapes() {
+        let (g, d) = fixture(4, 1);
+        assert_eq!(g.len(), 16);
+        assert_eq!(d.len(), 16);
+    }
+}

@@ -1,0 +1,22 @@
+//! Ablation A5: compensated summation vs push-flow's accuracy collapse.
+//!
+//! The paper (Sec. II-B) argues that careful summation cannot rescue PF
+//! because the flow *values* themselves absorb rounding proportional to
+//! their own O(n)-growing magnitude. This ablation measures plain PF,
+//! PF with Neumaier-compensated estimate summation, and PCF over the
+//! torus sweep (SUM aggregate — the worst case of Fig. 3).
+//!
+//! Usage: `ablation_compensated_pf [--max-exp=4] [--seed=42] [--threads=N]`
+
+use gr_experiments::figures::compensated_pf_ablation;
+use gr_experiments::{output, Opts};
+
+fn main() {
+    let opts = Opts::from_env();
+    let max_exp = opts.u64("max-exp", 4) as u32;
+    let seed = opts.u64("seed", 42);
+    let threads = opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize;
+    opts.finish();
+    compensated_pf_ablation("ablation_compensated_pf", max_exp, seed, threads)
+        .emit(&output::results_dir());
+}

@@ -1,0 +1,20 @@
+//! Ablation A4: synchronous vs asynchronous activation vs delayed links.
+//!
+//! All protocols must converge under every execution model (the flow
+//! machinery never assumed synchrony); the table shows the round cost of
+//! each relaxation at equal per-node send rates.
+//!
+//! Usage: `ablation_execution_models [--cube-dim=6] [--seed=41] [--threads=N]`
+
+use gr_experiments::figures::execution_model_ablation;
+use gr_experiments::{output, Opts};
+
+fn main() {
+    let opts = Opts::from_env();
+    let cube = opts.u64("cube-dim", 6) as u32;
+    let seed = opts.u64("seed", 41);
+    let threads = opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize;
+    opts.finish();
+    execution_model_ablation("ablation_execution_models", cube, seed, threads)
+        .emit(&output::results_dir());
+}

@@ -1,0 +1,22 @@
+//! Ablation A2: achievable accuracy under probabilistic message loss.
+//!
+//! Sweeps loss probabilities 0 … 0.5 on a hypercube for push-sum, PF,
+//! PCF and flow updating. Expected shape: push-sum converges to a
+//! *wrong* value as soon as any mass is lost (its best error tracks the
+//! loss rate); the flow-based algorithms converge to full accuracy at
+//! any loss rate, only more slowly.
+//!
+//! Usage: `ablation_message_loss [--cube-dim=6] [--seed=21] [--threads=N]`
+
+use gr_experiments::figures::message_loss_ablation;
+use gr_experiments::{output, Opts};
+
+fn main() {
+    let opts = Opts::from_env();
+    let cube = opts.u64("cube-dim", 6) as u32;
+    let seed = opts.u64("seed", 21);
+    let threads = opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize;
+    opts.finish();
+    message_loss_ablation("ablation_message_loss", cube, seed, threads)
+        .emit(&output::results_dir());
+}

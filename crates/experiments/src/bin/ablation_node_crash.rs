@@ -1,0 +1,21 @@
+//! Ablation A3: fail-stop node crash mid-reduction.
+//!
+//! A node crashes (all its links die, its data is lost) at round 50 or
+//! 150; the survivors' failure handling excises it and they re-converge
+//! to the aggregate of the *remaining* mass (oracle-recomputed). Both PF
+//! and PCF tolerate the crash; PF pays its usual fall-back, PCF does not.
+//!
+//! Usage: `ablation_node_crash [--cube-dim=6] [--seed=31] [--threads=N]`
+
+use gr_experiments::figures::node_crash_ablation;
+use gr_experiments::{output, Opts};
+
+fn main() {
+    let opts = Opts::from_env();
+    let cube = opts.u64("cube-dim", 6) as u32;
+    let seed = opts.u64("seed", 31);
+    let threads = opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize;
+    opts.finish();
+    node_crash_ablation("ablation_node_crash", cube, seed, threads)
+        .emit(&output::results_dir());
+}

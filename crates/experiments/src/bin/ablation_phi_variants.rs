@@ -1,0 +1,24 @@
+//! Ablation A1: bit-flip episodes vs the ϕ-update variants of PCF.
+//!
+//! Injects uniformly-placed bit flips into in-flight messages for 300
+//! rounds, then runs 1500 clean rounds, and reports the max error after
+//! each phase for PF, PCF (Fig. 5 as printed) and PCF-hardened. The
+//! paper's claim under test: the printed Fig. 5 variant is not fully
+//! bit-flip tolerant; the hardened ϕ variant preserves PF's theoretical
+//! tolerance — while in plain f64 even PF cannot survive high-exponent
+//! flips unscathed (its own Sec. II critique).
+//!
+//! Usage: `ablation_phi_variants [--cube-dim=5] [--seed=11] [--threads=N]`
+
+use gr_experiments::figures::bit_flip_ablation;
+use gr_experiments::{output, Opts};
+
+fn main() {
+    let opts = Opts::from_env();
+    let cube = opts.u64("cube-dim", 5) as u32;
+    let seed = opts.u64("seed", 11);
+    let threads = opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize;
+    opts.finish();
+    bit_flip_ablation("ablation_phi_variants", cube, seed, threads)
+        .emit(&output::results_dir());
+}

@@ -1,0 +1,22 @@
+//! Fig. 2 (executable): the bus-network worked example of paper Sec. II-B.
+//!
+//! Runs push-flow on the `v₁ = n+1, vᵢ = 1` bus with the regular
+//! round-robin schedule until convergence and prints each edge's flow
+//! against the schematic values `f_{i−1,i} = n−i+1`, plus PCF's flow
+//! magnitudes on the same input for contrast (they stay near the
+//! aggregate, 2).
+//!
+//! Usage: `fig2_bus_example [--n=16] [--rounds=20000] [--seed=0]`
+
+use gr_experiments::figures::bus_example;
+use gr_experiments::{output, Opts};
+
+fn main() {
+    let opts = Opts::from_env();
+    let n = opts.u64("n", 16) as usize;
+    let rounds = opts.u64("rounds", 20_000);
+    let seed = opts.u64("seed", 0);
+    opts.finish();
+    let t = bus_example("fig2_bus_example", n, rounds, seed);
+    t.emit(&output::results_dir());
+}

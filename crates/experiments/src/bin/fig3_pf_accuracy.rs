@@ -1,0 +1,29 @@
+//! Fig. 3: globally achievable accuracy of push-flow vs system size.
+//!
+//! Sweeps 3D-torus and hypercube topologies over `8^1 … 8^i` nodes for
+//! SUM and AVG aggregates, runs PF until its error plateaus, and reports
+//! the best max local error it ever achieves. The paper's shape: error
+//! grows steadily with scale (and SUM is worse than AVG).
+//!
+//! Usage: `fig3_pf_accuracy [--max-exp=4] [--full=false] [--seed=42]
+//!         [--plateau=4000] [--threads=N]`
+//! `--full=true` raises the sweep to the paper's 2¹⁵ = 32768 nodes.
+
+use gr_experiments::figures::{accuracy_sweep, AccuracySweepOpts};
+use gr_experiments::{output, Opts};
+use gr_reduction::Algorithm;
+
+fn main() {
+    let opts = Opts::from_env();
+    let full = opts.bool("full", false);
+    let o = AccuracySweepOpts {
+        max_exp: opts.u64("max-exp", if full { 5 } else { 4 }) as u32,
+        plateau: opts.u64("plateau", 4000),
+        seed: opts.u64("seed", 42),
+        threads: opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize,
+        ..Default::default()
+    };
+    opts.finish();
+    let t = accuracy_sweep("fig3_pf_accuracy", Algorithm::PushFlow, &o);
+    t.emit(&output::results_dir());
+}

@@ -1,0 +1,26 @@
+//! Fig. 4: push-flow error trajectory under one permanent link failure.
+//!
+//! 6D hypercube (64 nodes), AVG aggregate; a single link dies and its
+//! handling runs at iteration 75 (left panel) and 175 (right panel).
+//! The paper's shape: PF falls back almost to the start in both cases,
+//! no matter how accurate it already was. (The emitted tables carry the
+//! PCF trajectory too, since Fig. 7 overlays them; `fig7_pcf_link_failure`
+//! emits the same data under the Fig. 7 name.)
+//!
+//! Usage: `fig4_pf_link_failure [--rounds=200] [--seed=7] [--cube-dim=6]`
+
+use gr_experiments::figures::{failure_figure, FailureTrajOpts};
+use gr_experiments::{output, Opts};
+
+fn main() {
+    let opts = Opts::from_env();
+    let o = FailureTrajOpts {
+        cube_dim: opts.u64("cube-dim", 6) as u32,
+        rounds: opts.u64("rounds", 200),
+        seed: opts.u64("seed", 7),
+    };
+    opts.finish();
+    let dir = output::results_dir();
+    failure_figure("fig4_link_failure_at_75", &o, 75).emit(&dir);
+    failure_figure("fig4_link_failure_at_175", &o, 175).emit(&dir);
+}

@@ -1,0 +1,31 @@
+//! Fig. 6: the Fig. 3 accuracy sweep repeated with push-cancel-flow.
+//!
+//! Same topologies, sizes, aggregates and seeds as `fig3_pf_accuracy`;
+//! the paper's shape: PCF stays at machine-precision level with only a
+//! slow error increase in the system size, orders of magnitude below PF.
+//!
+//! Usage: `fig6_pcf_accuracy [--max-exp=4] [--full=false] [--seed=42]
+//!         [--plateau=4000] [--threads=N]`
+
+use gr_experiments::figures::{accuracy_sweep, AccuracySweepOpts};
+use gr_experiments::{output, Opts};
+use gr_reduction::{Algorithm, PhiMode};
+
+fn main() {
+    let opts = Opts::from_env();
+    let full = opts.bool("full", false);
+    let o = AccuracySweepOpts {
+        max_exp: opts.u64("max-exp", if full { 5 } else { 4 }) as u32,
+        plateau: opts.u64("plateau", 4000),
+        seed: opts.u64("seed", 42),
+        threads: opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize,
+        ..Default::default()
+    };
+    opts.finish();
+    let t = accuracy_sweep(
+        "fig6_pcf_accuracy",
+        Algorithm::PushCancelFlow(PhiMode::Eager),
+        &o,
+    );
+    t.emit(&output::results_dir());
+}

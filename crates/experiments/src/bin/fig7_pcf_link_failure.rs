@@ -1,0 +1,26 @@
+//! Fig. 7: the Fig. 4 failure experiment with push-cancel-flow.
+//!
+//! Identical setup and random seed as Fig. 4 — PF and PCF see the same
+//! communication schedule, so the trajectories coincide until the failure
+//! handling at iteration 75 / 175; afterwards PCF continues converging
+//! with no fall-back while PF restarts. Both series are in each table.
+//!
+//! Usage: `fig7_pcf_link_failure [--rounds=200] [--seed=7] [--cube-dim=6]`
+
+use gr_experiments::figures::{equivalence_check, failure_figure, FailureTrajOpts};
+use gr_experiments::{output, Opts};
+
+fn main() {
+    let opts = Opts::from_env();
+    let o = FailureTrajOpts {
+        cube_dim: opts.u64("cube-dim", 6) as u32,
+        rounds: opts.u64("rounds", 200),
+        seed: opts.u64("seed", 7),
+    };
+    opts.finish();
+    let dir = output::results_dir();
+    failure_figure("fig7_link_failure_at_75", &o, 75).emit(&dir);
+    failure_figure("fig7_link_failure_at_175", &o, 175).emit(&dir);
+    let dev = equivalence_check(o.cube_dim, o.rounds.min(100), o.seed);
+    println!("\nfailure-free PF/PCF max estimate deviation over {} rounds: {dev:e}", o.rounds.min(100));
+}

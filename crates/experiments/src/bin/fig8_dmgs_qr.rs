@@ -1,0 +1,29 @@
+//! Fig. 8: distributed QR — dmGS(PF) vs dmGS(PCF) factorization error.
+//!
+//! Random `V ∈ R^{N×16}` over hypercubes with `N = 2^5 … 2^max` nodes;
+//! every reduction gets target accuracy 1e-15 and an iteration cap;
+//! errors are averaged over `--runs` random matrices. The paper's shape:
+//! dmGS(PF)'s error grows with N, dmGS(PCF)'s stays flat at the target.
+//!
+//! Usage: `fig8_dmgs_qr [--runs=5] [--max-exp=8] [--full=false]
+//!         [--m=16] [--cap=3000] [--seed=1234] [--threads=N]`
+//! `--full=true` uses the paper's 50 runs and N up to 2¹⁰.
+
+use gr_experiments::figures::{dmgs_sweep, DmgsSweepOpts};
+use gr_experiments::{output, Opts};
+
+fn main() {
+    let opts = Opts::from_env();
+    let full = opts.bool("full", false);
+    let o = DmgsSweepOpts {
+        min_exp: opts.u64("min-exp", 5) as u32,
+        max_exp: opts.u64("max-exp", if full { 10 } else { 8 }) as u32,
+        m: opts.u64("m", 16) as usize,
+        runs: opts.u64("runs", if full { 50 } else { 5 }) as u32,
+        max_rounds_per_reduction: opts.u64("cap", 3000),
+        seed: opts.u64("seed", 1234),
+        threads: opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize,
+    };
+    opts.finish();
+    dmgs_sweep("fig8_dmgs_qr", &o).emit(&output::results_dir());
+}

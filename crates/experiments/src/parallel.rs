@@ -1,0 +1,117 @@
+//! Work-stealing parallel map over independent simulation runs.
+//!
+//! Experiments replicate runs over seeds and sweep configurations; every
+//! run is an independent, internally-sequential, deterministic simulation
+//! — the embarrassingly-parallel shape. Results come back in input order
+//! regardless of completion order, so parallelism never perturbs output
+//! files.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f` to every item on up to `threads` worker threads and return
+/// the results in input order. `threads == 1` (or a single-item input)
+/// runs inline with zero overhead.
+///
+/// # Panics
+/// Propagates the first worker panic.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Slots are claimed via an atomic cursor; each worker takes the next
+    // unclaimed index. Items are moved into Option slots so workers can
+    // take ownership without cloning.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("slot claimed twice");
+                let r = f(item);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("missing result"))
+        .collect()
+}
+
+/// The machine's available parallelism (≥ 1).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..100).collect(), 4, |x: i32| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_inline() {
+        let out = par_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), 8, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = par_map(vec![5], 64, |x| x * 2);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn non_clone_items_move_through() {
+        // Items only need Send, not Clone.
+        struct NoClone(String);
+        let items = vec![NoClone("a".into()), NoClone("b".into())];
+        let out = par_map(items, 2, |x| x.0);
+        assert_eq!(out, vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn panic_propagates() {
+        let _ = par_map(vec![0, 1, 2, 3], 2, |x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn threads_helper_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

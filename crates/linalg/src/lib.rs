@@ -1,0 +1,16 @@
+//! Minimal dense linear algebra for the distributed QR case study.
+//!
+//! The paper's Sec. IV evaluates a fully distributed modified Gram-Schmidt
+//! QR factorization (dmGS). This crate supplies what that needs and no
+//! more: a row-major [`Matrix`], the norms the paper's error metric uses
+//! (`‖V − QR‖∞ / ‖V‖∞`), a *sequential* modified Gram-Schmidt reference
+//! implementation to validate the distributed one against, and seeded
+//! random matrix generation. Everything is plain `f64`; error *measurement*
+//! helpers use compensated arithmetic from [`gr_numerics`] so the metric
+//! itself does not pollute the quantity it measures.
+
+mod matrix;
+mod qr;
+
+pub use matrix::Matrix;
+pub use qr::{factorization_error, mgs_qr, orthogonality_error};

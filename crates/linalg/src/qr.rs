@@ -1,0 +1,122 @@
+//! Sequential modified Gram-Schmidt QR and the paper's error metrics.
+
+use crate::matrix::Matrix;
+use gr_numerics::sum::compensated_dot;
+
+/// Thin QR factorization `V = Q·R` (`V: n×m`, `n ≥ m`) by modified
+/// Gram-Schmidt — the sequential reference the distributed dmGS is
+/// validated against (same algorithm, local arithmetic instead of gossip
+/// reductions).
+///
+/// Returns `(Q, R)` with `Q: n×m` having orthonormal columns and `R: m×m`
+/// upper triangular.
+///
+/// # Panics
+/// Panics if `n < m` or a column is (numerically) linearly dependent
+/// (zero pivot).
+pub fn mgs_qr(v: &Matrix) -> (Matrix, Matrix) {
+    let (n, m) = (v.rows(), v.cols());
+    assert!(n >= m, "mgs_qr needs n >= m (got {n} x {m})");
+    let mut q = v.clone();
+    let mut r = Matrix::zeros(m, m);
+    for k in 0..m {
+        let qk = q.col(k);
+        let rkk = qk.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(rkk > 0.0, "rank-deficient column {k}");
+        r[(k, k)] = rkk;
+        for i in 0..n {
+            q[(i, k)] /= rkk;
+        }
+        let qk = q.col(k);
+        for j in (k + 1)..m {
+            let rkj: f64 = qk.iter().zip(q.col(j).iter()).map(|(a, b)| a * b).sum();
+            r[(k, j)] = rkj;
+            for i in 0..n {
+                q[(i, j)] -= qk[i] * rkj;
+            }
+        }
+    }
+    (q, r)
+}
+
+/// The paper's Fig. 8 metric: `‖V − QR‖∞ / ‖V‖∞`.
+pub fn factorization_error(v: &Matrix, q: &Matrix, r: &Matrix) -> f64 {
+    let qr = q.matmul(r);
+    v.sub(&qr).norm_inf() / v.norm_inf()
+}
+
+/// Orthogonality error `‖I − QᵀQ‖∞` (the companion metric the paper
+/// mentions for dmGS).
+pub fn orthogonality_error(q: &Matrix) -> f64 {
+    let m = q.cols();
+    let mut qtq = Matrix::zeros(m, m);
+    for a in 0..m {
+        let ca = q.col(a);
+        for b in 0..m {
+            let cb = q.col(b);
+            qtq[(a, b)] = compensated_dot(&ca, &cb);
+        }
+    }
+    Matrix::identity(m).sub(&qtq).norm_inf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs() {
+        let v = Matrix::random_uniform(32, 8, 1);
+        let (q, r) = mgs_qr(&v);
+        assert!(factorization_error(&v, &q, &r) < 1e-14);
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let v = Matrix::random_uniform(64, 16, 2);
+        let (q, _r) = mgs_qr(&v);
+        assert!(orthogonality_error(&q) < 1e-13);
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_positive_diagonal() {
+        let v = Matrix::random_uniform(16, 5, 3);
+        let (_q, r) = mgs_qr(&v);
+        for i in 0..5 {
+            assert!(r[(i, i)] > 0.0);
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn square_orthogonal_input_gives_identity_r_scale() {
+        let v = Matrix::identity(6);
+        let (q, r) = mgs_qr(&v);
+        assert_eq!(q, Matrix::identity(6));
+        assert_eq!(r, Matrix::identity(6));
+    }
+
+    #[test]
+    fn single_column() {
+        let v = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        let (q, r) = mgs_qr(&v);
+        assert!((r[(0, 0)] - 5.0).abs() < 1e-15);
+        assert!((q[(0, 0)] - 0.6).abs() < 1e-15);
+        assert!((q[(1, 0)] - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-deficient")]
+    fn dependent_columns_detected() {
+        let v = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let _ = mgs_qr(&v);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= m")]
+    fn wide_matrix_rejected() {
+        let _ = mgs_qr(&Matrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,233 @@
+//! Fault models: what can go wrong, and when.
+//!
+//! The paper's taxonomy (Sec. I/II): *soft errors* — message loss and bit
+//! flips — are transient and are never reported to the algorithm; they are
+//! modelled probabilistically per message. *Permanent failures* — a link or
+//! a node dying — are eventually *detected*, at which point the algorithm's
+//! failure handling runs (for PF/PCF: flow variables for the dead link are
+//! excised). Detection may lag the physical fault.
+
+use gr_topology::NodeId;
+
+/// A payload the fault injector can corrupt bit-wise.
+///
+/// Implementations expose their total corruptible bit count; the injector
+/// picks a uniform bit index and flips it, modelling a soft error in a
+/// network buffer or register. Control fields (counters, tags) may be
+/// included — the paper's bit-flip claims cover arbitrary message state.
+pub trait Corrupt {
+    /// Total number of bits a flip may target. Zero means "not corruptible"
+    /// (e.g. the unit message type in tests).
+    fn corruptible_bits(&self) -> u32;
+
+    /// Flip bit `bit` (`0 ≤ bit < corruptible_bits()`).
+    fn flip_bit(&mut self, bit: u32);
+}
+
+impl Corrupt for f64 {
+    fn corruptible_bits(&self) -> u32 {
+        64
+    }
+    fn flip_bit(&mut self, bit: u32) {
+        *self = gr_numerics::bits::flip_bit(*self, bit);
+    }
+}
+
+impl Corrupt for u64 {
+    fn corruptible_bits(&self) -> u32 {
+        64
+    }
+    fn flip_bit(&mut self, bit: u32) {
+        *self ^= 1u64 << bit;
+    }
+}
+
+impl Corrupt for () {
+    fn corruptible_bits(&self) -> u32 {
+        0
+    }
+    fn flip_bit(&mut self, _bit: u32) {}
+}
+
+impl<T: Corrupt> Corrupt for Vec<T> {
+    fn corruptible_bits(&self) -> u32 {
+        self.iter().map(Corrupt::corruptible_bits).sum()
+    }
+    fn flip_bit(&mut self, mut bit: u32) {
+        for item in self.iter_mut() {
+            let b = item.corruptible_bits();
+            if bit < b {
+                item.flip_bit(bit);
+                return;
+            }
+            bit -= b;
+        }
+        panic!("bit index out of range for Vec payload");
+    }
+}
+
+impl<A: Corrupt, B: Corrupt> Corrupt for (A, B) {
+    fn corruptible_bits(&self) -> u32 {
+        self.0.corruptible_bits() + self.1.corruptible_bits()
+    }
+    fn flip_bit(&mut self, bit: u32) {
+        let a = self.0.corruptible_bits();
+        if bit < a {
+            self.0.flip_bit(bit);
+        } else {
+            self.1.flip_bit(bit - a);
+        }
+    }
+}
+
+/// A scheduled permanent link failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFailure {
+    /// One endpoint.
+    pub a: NodeId,
+    /// Other endpoint.
+    pub b: NodeId,
+    /// Round at which the link physically dies (messages on it are lost
+    /// from this round on).
+    pub at_round: u64,
+    /// Rounds until both endpoints learn of the failure and the protocol's
+    /// `on_link_failed` handling runs. `0` = detected immediately, which is
+    /// the paper's setting ("the failure handling takes place after 75
+    /// iterations").
+    pub detect_delay: u64,
+}
+
+/// A scheduled node crash (fail-stop): equivalent to all its links failing
+/// at once; the node's local data is lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeCrash {
+    /// The crashing node.
+    pub node: NodeId,
+    /// Round at which it stops sending/receiving.
+    pub at_round: u64,
+    /// Rounds until neighbors detect the crash (per link).
+    pub detect_delay: u64,
+}
+
+/// Everything that goes wrong during one simulation.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Per-message probability of silent loss.
+    pub msg_loss_prob: f64,
+    /// Per-message probability of a single uniformly-placed bit flip.
+    pub bit_flip_prob: f64,
+    /// Scheduled permanent link failures.
+    pub link_failures: Vec<LinkFailure>,
+    /// Scheduled node crashes.
+    pub node_crashes: Vec<NodeCrash>,
+}
+
+impl FaultPlan {
+    /// A failure-free plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Plan with only probabilistic message loss.
+    pub fn with_loss(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability {p} outside [0,1]");
+        FaultPlan {
+            msg_loss_prob: p,
+            ..Self::default()
+        }
+    }
+
+    /// Plan with only probabilistic bit flips.
+    pub fn with_bit_flips(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "flip probability {p} outside [0,1]");
+        FaultPlan {
+            bit_flip_prob: p,
+            ..Self::default()
+        }
+    }
+
+    /// Add a permanent link failure at `round`, detected immediately.
+    pub fn fail_link(mut self, a: NodeId, b: NodeId, round: u64) -> Self {
+        self.link_failures.push(LinkFailure {
+            a,
+            b,
+            at_round: round,
+            detect_delay: 0,
+        });
+        self
+    }
+
+    /// Add a node crash at `round`, detected immediately by all neighbors.
+    pub fn crash_node(mut self, node: NodeId, round: u64) -> Self {
+        self.node_crashes.push(NodeCrash {
+            node,
+            at_round: round,
+            detect_delay: 0,
+        });
+        self
+    }
+
+    /// `true` if the plan contains no faults of any kind.
+    pub fn is_failure_free(&self) -> bool {
+        self.msg_loss_prob == 0.0
+            && self.bit_flip_prob == 0.0
+            && self.link_failures.is_empty()
+            && self.node_crashes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_corruption_flips_one_bit() {
+        let mut x = 1.0f64;
+        x.flip_bit(63);
+        assert_eq!(x, -1.0);
+    }
+
+    #[test]
+    fn vec_corruption_addresses_elements() {
+        let mut v = vec![1.0f64, 2.0];
+        assert_eq!(v.corruptible_bits(), 128);
+        v.flip_bit(63); // sign of element 0
+        assert_eq!(v, vec![-1.0, 2.0]);
+        v.flip_bit(64 + 63); // sign of element 1
+        assert_eq!(v, vec![-1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vec_corruption_out_of_range() {
+        vec![1.0f64].flip_bit(64);
+    }
+
+    #[test]
+    fn pair_corruption_splits_bits() {
+        let mut p = (0u64, 0u64);
+        p.flip_bit(0);
+        p.flip_bit(64);
+        assert_eq!(p, (1, 1));
+    }
+
+    #[test]
+    fn unit_is_incorruptible() {
+        assert_eq!(().corruptible_bits(), 0);
+    }
+
+    #[test]
+    fn plan_builders() {
+        let p = FaultPlan::none().fail_link(1, 2, 10).crash_node(3, 20);
+        assert_eq!(p.link_failures.len(), 1);
+        assert_eq!(p.node_crashes.len(), 1);
+        assert!(!p.is_failure_free());
+        assert!(FaultPlan::none().is_failure_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn bad_loss_probability() {
+        let _ = FaultPlan::with_loss(1.5);
+    }
+}

@@ -1,0 +1,126 @@
+//! Execution-model options: activation discipline and message latency.
+//!
+//! The paper (and the default here) uses the *synchronous* gossip model:
+//! discrete iterations in which every node sends once and all messages
+//! arrive within the iteration. Two relaxations matter in practice and
+//! are supported natively:
+//!
+//! * **asynchronous activation** (the model of Boyd et al.'s randomized
+//!   gossip): there is no global round — single nodes wake up one at a
+//!   time, uniformly at random, and their exchange completes before the
+//!   next activation. For comparability, one [`Simulator::step`]
+//!   (one "round") executes `n` activations, so the per-node send rate
+//!   matches the synchronous model;
+//! * **message delay**: a message sent in round `r` is delivered in round
+//!   `r + d` with `d` fixed or sampled per message. The flow algorithms
+//!   transmit absolute state, so stale messages are safe — but delay does
+//!   interact with crossing exchanges, and the ablation benches quantify
+//!   the convergence cost.
+//!
+//! [`Simulator::step`]: crate::Simulator::step
+
+use crate::schedule::Schedule;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Who acts when.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Activation {
+    /// Every alive node sends once per round; deliveries happen at the
+    /// end of the round (the paper's model).
+    #[default]
+    Synchronous,
+    /// `n` single-node activations per round, each an immediate complete
+    /// exchange (classical randomized gossip).
+    Asynchronous,
+}
+
+/// Per-message delivery latency, in rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DelayModel {
+    /// Delivered at the end of the sending round (the paper's model).
+    #[default]
+    None,
+    /// Delivered exactly `d` rounds after sending (`Fixed(0)` ≡ `None`).
+    Fixed(u64),
+    /// Delivered `d ∈ [min, max]` rounds after sending, `d` sampled
+    /// uniformly per message from the fault stream.
+    Uniform {
+        /// Smallest delay (inclusive).
+        min: u64,
+        /// Largest delay (inclusive).
+        max: u64,
+    },
+}
+
+impl DelayModel {
+    /// Largest possible delay (sizes the delivery ring buffer).
+    pub fn max_delay(self) -> u64 {
+        match self {
+            DelayModel::None => 0,
+            DelayModel::Fixed(d) => d,
+            DelayModel::Uniform { max, .. } => max,
+        }
+    }
+
+    /// Sample one delay.
+    pub(crate) fn sample(self, rng: &mut StdRng) -> u64 {
+        match self {
+            DelayModel::None => 0,
+            DelayModel::Fixed(d) => d,
+            DelayModel::Uniform { min, max } => {
+                debug_assert!(min <= max);
+                rng.random_range(min..=max)
+            }
+        }
+    }
+}
+
+/// Bundle of execution-model knobs accepted by
+/// [`Simulator::with_options`](crate::Simulator::with_options).
+#[derive(Clone, Debug, Default)]
+pub struct SimOptions {
+    /// Partner-selection policy.
+    pub schedule: Schedule,
+    /// Activation discipline.
+    pub activation: Activation,
+    /// Message latency model (must be [`DelayModel::None`] under
+    /// asynchronous activation, where exchanges are atomic).
+    pub delay: DelayModel,
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::uniform()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{stream_rng, RngStream};
+
+    #[test]
+    fn max_delays() {
+        assert_eq!(DelayModel::None.max_delay(), 0);
+        assert_eq!(DelayModel::Fixed(3).max_delay(), 3);
+        assert_eq!(DelayModel::Uniform { min: 1, max: 5 }.max_delay(), 5);
+    }
+
+    #[test]
+    fn sampling_in_range() {
+        let mut rng = stream_rng(1, RngStream::Faults);
+        for _ in 0..100 {
+            let d = DelayModel::Uniform { min: 2, max: 4 }.sample(&mut rng);
+            assert!((2..=4).contains(&d));
+        }
+        assert_eq!(DelayModel::Fixed(7).sample(&mut rng), 7);
+    }
+
+    #[test]
+    fn defaults_match_paper_model() {
+        let o = SimOptions::default();
+        assert_eq!(o.activation, Activation::Synchronous);
+        assert_eq!(o.delay, DelayModel::None);
+    }
+}

@@ -1,0 +1,204 @@
+//! Execution observability: a bounded event trace and per-link load
+//! counters.
+//!
+//! Debugging a distributed algorithm is mostly asking "what actually
+//! happened, in order?" — the trace answers that without printf noise,
+//! and the link-load counters expose schedule fairness (on degree-skewed
+//! topologies like Barabási–Albert graphs, hubs are contacted far more
+//! often than leaves, which is exactly what starves push gossip).
+
+use gr_topology::NodeId;
+use std::collections::VecDeque;
+
+/// One simulator event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A message was handed to the transport.
+    Sent {
+        /// Round of the send.
+        round: u64,
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+    },
+    /// A message reached its receive handler.
+    Delivered {
+        /// Round of delivery.
+        round: u64,
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+    },
+    /// A message was dropped by the probabilistic loss model.
+    LostRandom {
+        /// Round of the drop.
+        round: u64,
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+    },
+    /// A message died because its link or an endpoint was dead.
+    LostDead {
+        /// Round of the drop.
+        round: u64,
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+    },
+    /// A bit flip was injected into a message.
+    BitFlipped {
+        /// Round of the corruption.
+        round: u64,
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+        /// Which bit of the payload.
+        bit: u32,
+    },
+    /// A link physically died.
+    LinkFailed {
+        /// Round the fault fired.
+        round: u64,
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+    },
+    /// A node crashed (fail-stop).
+    NodeCrashed {
+        /// Round the fault fired.
+        round: u64,
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A failure detection was delivered to the protocol.
+    Detected {
+        /// Round of detection.
+        round: u64,
+        /// Detecting node.
+        node: NodeId,
+        /// The neighbor it lost.
+        neighbor: NodeId,
+    },
+}
+
+impl Event {
+    /// The round the event belongs to.
+    pub fn round(&self) -> u64 {
+        match *self {
+            Event::Sent { round, .. }
+            | Event::Delivered { round, .. }
+            | Event::LostRandom { round, .. }
+            | Event::LostDead { round, .. }
+            | Event::BitFlipped { round, .. }
+            | Event::LinkFailed { round, .. }
+            | Event::NodeCrashed { round, .. }
+            | Event::Detected { round, .. } => round,
+        }
+    }
+}
+
+/// A bounded event recorder: keeps the most recent `capacity` events.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace holding at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Record one event, evicting the oldest if full.
+    pub fn push(&mut self, e: Event) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(e);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events of a given round, oldest first.
+    pub fn round_events(&self, round: u64) -> impl Iterator<Item = &Event> {
+        self.ring.iter().filter(move |e| e.round() == round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for r in 0..5 {
+            t.push(Event::Sent { round: r, src: 0, dst: 1 });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let rounds: Vec<u64> = t.events().map(|e| e.round()).collect();
+        assert_eq!(rounds, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn round_filter() {
+        let mut t = Trace::new(10);
+        t.push(Event::Sent { round: 1, src: 0, dst: 1 });
+        t.push(Event::Delivered { round: 1, src: 0, dst: 1 });
+        t.push(Event::Sent { round: 2, src: 1, dst: 0 });
+        assert_eq!(t.round_events(1).count(), 2);
+        assert_eq!(t.round_events(2).count(), 1);
+        assert_eq!(t.round_events(9).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = Trace::new(0);
+    }
+
+    #[test]
+    fn event_round_accessor() {
+        assert_eq!(Event::NodeCrashed { round: 7, node: 3 }.round(), 7);
+        assert_eq!(
+            Event::BitFlipped { round: 9, src: 1, dst: 2, bit: 5 }.round(),
+            9
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based simulator invariants: transport accounting, determinism
+//! and fault bookkeeping under arbitrary parameters.
+
+use gr_netsim::{Activation, Corrupt, DelayModel, FaultPlan, Protocol, SimOptions, Simulator};
+use gr_topology::{complete, ring, NodeId};
+use proptest::prelude::*;
+
+/// A protocol that remembers everything it saw.
+struct Log {
+    deliveries: Vec<(NodeId, NodeId)>,
+    failures: Vec<(NodeId, NodeId)>,
+}
+
+impl Log {
+    fn new() -> Self {
+        Log {
+            deliveries: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+}
+
+impl Protocol for Log {
+    type Msg = f64;
+    fn on_send(&mut self, node: NodeId, _t: NodeId) -> f64 {
+        node as f64
+    }
+    fn on_receive(&mut self, node: NodeId, from: NodeId, _m: f64) {
+        self.deliveries.push((from, node));
+    }
+    fn on_link_failed(&mut self, node: NodeId, neighbor: NodeId) {
+        self.failures.push((node, neighbor));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// sent = delivered + lost, for any loss rate, delay and activation.
+    #[test]
+    fn transport_accounting_balances(
+        seed in 0u64..500,
+        loss in 0.0f64..1.0,
+        rounds in 1u64..60,
+        delay in 0u64..4,
+        async_mode in proptest::bool::ANY,
+    ) {
+        let g = complete(7);
+        let opts = SimOptions {
+            activation: if async_mode { Activation::Asynchronous } else { Activation::Synchronous },
+            delay: if async_mode || delay == 0 { DelayModel::None } else { DelayModel::Fixed(delay) },
+            ..SimOptions::default()
+        };
+        let mut sim = Simulator::with_options(&g, Log::new(), FaultPlan::with_loss(loss), seed, opts);
+        sim.run(rounds);
+        let s = sim.stats();
+        let in_flight = if async_mode { 0 } else { delay.min(rounds) * 7 };
+        prop_assert!(s.sent >= s.delivered + s.lost_random + s.lost_dead);
+        prop_assert!(s.sent - (s.delivered + s.lost_random + s.lost_dead) <= in_flight);
+        prop_assert_eq!(s.delivered as usize, sim.protocol().deliveries.len());
+        prop_assert_eq!(s.rounds, rounds);
+    }
+
+    /// Bit-for-bit determinism: two simulators with identical parameters
+    /// observe identical delivery sequences.
+    #[test]
+    fn identical_parameters_identical_history(
+        seed in 0u64..200,
+        loss in 0.0f64..0.5,
+        flips in 0.0f64..0.3,
+    ) {
+        let g = ring(9);
+        let run = || {
+            let plan = FaultPlan {
+                msg_loss_prob: loss,
+                bit_flip_prob: flips,
+                link_failures: vec![],
+                node_crashes: vec![],
+            };
+            let mut sim = Simulator::new(&g, Log::new(), plan, seed);
+            sim.run(30);
+            (sim.protocol().deliveries.clone(), sim.stats())
+        };
+        let (d1, s1) = run();
+        let (d2, s2) = run();
+        prop_assert_eq!(d1, d2);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Every scheduled link failure is detected exactly once per alive
+    /// endpoint, wherever it is placed in time.
+    #[test]
+    fn link_failures_detected_once(
+        seed in 0u64..200,
+        at in 0u64..40,
+        edge in 0usize..9,
+    ) {
+        let g = ring(9);
+        let (a, b) = g.edges().nth(edge).unwrap();
+        let plan = FaultPlan::none().fail_link(a, b, at);
+        let mut sim = Simulator::new(&g, Log::new(), plan, seed);
+        sim.run(50);
+        let mut f = sim.protocol().failures.clone();
+        f.sort_unstable();
+        prop_assert_eq!(f, vec![(a, b), (b, a)]);
+        // and the believed-alive lists shrank accordingly
+        prop_assert_eq!(sim.believed_alive(a).len(), 1);
+        prop_assert_eq!(sim.believed_alive(b).len(), 1);
+    }
+
+    /// Corruption coverage: flipping any bit index of a composite payload
+    /// changes it, and flipping twice restores it.
+    #[test]
+    fn corruption_is_involutive(
+        v1 in proptest::num::f64::NORMAL,
+        v2 in proptest::num::f64::NORMAL,
+        bit in 0u32..128,
+    ) {
+        let original = (v1, v2);
+        let mut m = original;
+        m.flip_bit(bit);
+        prop_assert!(m != original || v1.is_nan() || v2.is_nan());
+        m.flip_bit(bit);
+        prop_assert_eq!(m, original);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the double-double substrate — the measurement
+//! foundation everything else trusts.
+
+use gr_numerics::dd::{dd_dot, dd_sum, two_prod, two_sum};
+use gr_numerics::Dd;
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    // Moderate range: keeps products/sums far from overflow so the
+    // error-free transformations' preconditions hold.
+    -1e120f64..1e120
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// TwoSum is an error-free transformation: s + e == a + b exactly
+    /// (verified in Dd, which can hold the exact sum of two f64).
+    #[test]
+    fn two_sum_error_free(a in finite(), b in finite()) {
+        let (s, e) = two_sum(a, b);
+        let exact = Dd::from_f64(a) + Dd::from_f64(b);
+        let recon = Dd::from_sum(s, e);
+        prop_assert_eq!(exact.hi().to_bits(), recon.hi().to_bits());
+        prop_assert_eq!(exact.lo().to_bits(), recon.lo().to_bits());
+    }
+
+    /// TwoProd is error-free: p + e == a·b exactly.
+    #[test]
+    fn two_prod_error_free(a in -1e100f64..1e100, b in -1e100f64..1e100) {
+        let (p, e) = two_prod(a, b);
+        let exact = Dd::from_f64(a) * Dd::from_f64(b);
+        let recon = Dd::from_sum(p, e);
+        // dd multiplication of two plain f64 is itself exact (one two_prod)
+        prop_assert_eq!(exact.hi().to_bits(), recon.hi().to_bits());
+        prop_assert_eq!(exact.lo().to_bits(), recon.lo().to_bits());
+    }
+
+    /// Dd addition is commutative bit-for-bit.
+    #[test]
+    fn dd_add_commutes(a in finite(), b in finite(), c in -1e-10f64..1e-10) {
+        let x = Dd::from_f64(a) + c;
+        let y = Dd::from_f64(b) - c;
+        let l = x + y;
+        let r = y + x;
+        prop_assert_eq!(l.hi().to_bits(), r.hi().to_bits());
+        prop_assert_eq!(l.lo().to_bits(), r.lo().to_bits());
+    }
+
+    /// a + b − b recovers a to double-double precision.
+    #[test]
+    fn dd_add_sub_roundtrip(a in -1e50f64..1e50, b in -1e50f64..1e50) {
+        let x = Dd::from_f64(a);
+        let y = Dd::from_f64(b);
+        let back = (x + y) - y;
+        let err = (back - x).abs().to_f64();
+        let scale = a.abs().max(b.abs()).max(1.0);
+        prop_assert!(err <= 1e-30 * scale, "err {err}");
+    }
+
+    /// (a · b) / b recovers a to ~1e-30 relative.
+    #[test]
+    fn dd_mul_div_roundtrip(a in -1e50f64..1e50, b in -1e50f64..1e50) {
+        prop_assume!(b.abs() > 1e-50);
+        let x = Dd::from_f64(a);
+        let y = Dd::from_f64(b);
+        let back = (x * y) / y;
+        let err = (back - x).abs().to_f64();
+        prop_assert!(err <= 1e-28 * a.abs().max(1.0), "err {err}");
+    }
+
+    /// sqrt(x)² == x to double-double precision, for positive x.
+    #[test]
+    fn dd_sqrt_squares_back(a in 1e-100f64..1e100) {
+        let x = Dd::from_f64(a);
+        let r = x.sqrt();
+        let err = ((r * r) - x).abs().to_f64();
+        prop_assert!(err <= 1e-30 * a, "err {err}");
+    }
+
+    /// dd_sum is permutation-invariant to well below f64 precision.
+    #[test]
+    fn dd_sum_order_independent(mut v in proptest::collection::vec(-1e80f64..1e80, 2..40)) {
+        let fwd = dd_sum(&v);
+        v.reverse();
+        let rev = dd_sum(&v);
+        let err = (fwd - rev).abs().to_f64();
+        let scale = v.iter().map(|x| x.abs()).fold(1.0, f64::max);
+        prop_assert!(err <= 1e-28 * scale, "err {err}");
+    }
+
+    /// dd_dot matches the dd_sum of elementwise exact products.
+    #[test]
+    fn dd_dot_consistent_with_products(
+        a in proptest::collection::vec(-1e50f64..1e50, 1..20),
+        b0 in -1e50f64..1e50,
+    ) {
+        let b: Vec<f64> = a.iter().map(|_| b0).collect();
+        let dot = dd_dot(&a, &b);
+        let mut acc = Dd::ZERO;
+        for &x in &a {
+            acc += Dd::from_f64(x) * Dd::from_f64(b0);
+        }
+        let err = (dot - acc).abs().to_f64();
+        let scale = acc.abs().to_f64().max(1.0);
+        prop_assert!(err <= 1e-25 * scale, "err {err}");
+    }
+
+    /// Ordering is total on the generated (finite) values and agrees with
+    /// subtraction's sign.
+    #[test]
+    fn dd_ordering_agrees_with_difference(a in finite(), b in finite(), da in -1.0f64..1.0) {
+        let x = Dd::from_f64(a) + da * 1e-20;
+        let y = Dd::from_f64(b);
+        let diff = (x - y).to_f64();
+        if diff > 0.0 {
+            prop_assert!(x > y);
+        } else if diff < 0.0 {
+            prop_assert!(x < y);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Aggregation targets and initial-data workloads.
+//!
+//! Push-sum-family protocols compute `(Σᵢ xᵢ·)/(Σᵢ wᵢ)`; the *type* of
+//! aggregate is selected purely through the initial weights (paper Sec.
+//! II-A: "scalar weights are exchanged which determine the type of
+//! aggregation"): all-ones weights give the average, a single unit weight
+//! gives the sum.
+
+use crate::payload::Payload;
+use gr_numerics::Dd;
+use rand::prelude::*;
+
+/// The aggregation kinds the paper evaluates (Figs. 3/6 sweep both).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggregateKind {
+    /// `(Σ xᵢ)/n` — all weights 1.
+    Average,
+    /// `Σ xᵢ` — weight 1 at node 0, 0 elsewhere.
+    Sum,
+}
+
+impl AggregateKind {
+    /// Initial weight vector for `n` nodes.
+    pub fn weights(self, n: usize) -> Vec<f64> {
+        match self {
+            AggregateKind::Average => vec![1.0; n],
+            AggregateKind::Sum => {
+                let mut w = vec![0.0; n];
+                if n > 0 {
+                    w[0] = 1.0;
+                }
+                w
+            }
+        }
+    }
+
+    /// Short label used in experiment output ("AVG"/"SUM", as in the
+    /// paper's figure legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            AggregateKind::Average => "AVG",
+            AggregateKind::Sum => "SUM",
+        }
+    }
+}
+
+/// The initial data of a reduction: per-node values and weights.
+#[derive(Clone, Debug)]
+pub struct InitialData<P> {
+    values: Vec<P>,
+    weights: Vec<f64>,
+    dim: usize,
+}
+
+impl<P: Payload> InitialData<P> {
+    /// Build from explicit values and weights.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, values have inconsistent dimensions, or
+    /// all weights are zero (the target `Σx/Σw` would be undefined).
+    pub fn new(values: Vec<P>, weights: Vec<f64>) -> Self {
+        assert_eq!(values.len(), weights.len(), "values/weights length mismatch");
+        assert!(!values.is_empty(), "empty reduction");
+        let dim = values[0].dim();
+        assert!(
+            values.iter().all(|v| v.dim() == dim),
+            "inconsistent payload dimensions"
+        );
+        assert!(
+            weights.iter().any(|&w| w != 0.0),
+            "all-zero weights: aggregate undefined"
+        );
+        InitialData { values, weights, dim }
+    }
+
+    /// Initial data for the given aggregate kind.
+    pub fn with_kind(values: Vec<P>, kind: AggregateKind) -> Self {
+        let w = kind.weights(values.len());
+        Self::new(values, w)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if there are no nodes (never constructible; kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Payload dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Value of node `i`.
+    pub fn value(&self, i: usize) -> &P {
+        &self.values[i]
+    }
+
+    /// Weight of node `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// High-precision reference aggregate, componentwise
+    /// `(Σᵢ xᵢ[k])/(Σᵢ wᵢ)`.
+    pub fn reference(&self) -> Vec<Dd> {
+        self.reference_over(0..self.len())
+            .expect("constructor guarantees nonzero total weight")
+    }
+
+    /// Reference aggregate over a surviving subset of nodes — after a
+    /// fail-stop crash the remaining nodes converge to the aggregate of
+    /// the *survivors'* data (the crashed node's mass is excised by the
+    /// failure handling). `None` if the surviving weights sum to zero.
+    pub fn reference_over<I: IntoIterator<Item = usize>>(&self, nodes: I) -> Option<Vec<Dd>> {
+        let mut vsum = vec![Dd::ZERO; self.dim];
+        let mut wsum = Dd::ZERO;
+        for i in nodes {
+            for (acc, &c) in vsum.iter_mut().zip(self.values[i].components()) {
+                *acc += c;
+            }
+            wsum += self.weights[i];
+        }
+        if wsum.is_zero() {
+            return None;
+        }
+        Some(vsum.into_iter().map(|v| v / wsum).collect())
+    }
+}
+
+impl InitialData<f64> {
+    /// Uniform `[0, 1)` scalar values (seeded), the workload used for the
+    /// accuracy-vs-scale sweeps (the paper does not pin a distribution;
+    /// uniform data is the conventional choice and reproduces the shapes).
+    pub fn uniform_random(n: usize, kind: AggregateKind, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+        Self::with_kind(values, kind)
+    }
+
+    /// The Sec. II-B bus case study: `v₁ = n + 1`, `vᵢ = 1` otherwise,
+    /// unit weights ⇒ the average is exactly 2 for every `n`.
+    pub fn bus_case(n: usize) -> Self {
+        assert!(n >= 1);
+        let mut values = vec![1.0; n];
+        values[0] = (n + 1) as f64;
+        Self::with_kind(values, AggregateKind::Average)
+    }
+
+    /// A single spike: node 0 holds `n`, everyone else 0 (average 1).
+    /// Stresses mass transport across the full diameter.
+    pub fn spike(n: usize) -> Self {
+        let mut values = vec![0.0; n];
+        values[0] = n as f64;
+        Self::with_kind(values, AggregateKind::Average)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_for_kinds() {
+        assert_eq!(AggregateKind::Average.weights(3), vec![1.0; 3]);
+        assert_eq!(AggregateKind::Sum.weights(3), vec![1.0, 0.0, 0.0]);
+        assert_eq!(AggregateKind::Sum.label(), "SUM");
+    }
+
+    #[test]
+    fn average_reference() {
+        let d = InitialData::with_kind(vec![1.0, 2.0, 3.0], AggregateKind::Average);
+        assert_eq!(d.reference()[0].to_f64(), 2.0);
+    }
+
+    #[test]
+    fn sum_reference() {
+        let d = InitialData::with_kind(vec![1.0, 2.0, 3.0], AggregateKind::Sum);
+        assert_eq!(d.reference()[0].to_f64(), 6.0);
+    }
+
+    #[test]
+    fn vector_reference_componentwise() {
+        let d = InitialData::with_kind(
+            vec![vec![1.0, 10.0], vec![3.0, 30.0]],
+            AggregateKind::Average,
+        );
+        let r = d.reference();
+        assert_eq!(r[0].to_f64(), 2.0);
+        assert_eq!(r[1].to_f64(), 20.0);
+    }
+
+    #[test]
+    fn survivor_reference() {
+        let d = InitialData::with_kind(vec![1.0, 100.0, 3.0], AggregateKind::Average);
+        let r = d.reference_over([0, 2]).unwrap();
+        assert_eq!(r[0].to_f64(), 2.0);
+    }
+
+    #[test]
+    fn survivor_reference_zero_weight_is_none() {
+        let d = InitialData::with_kind(vec![1.0, 2.0], AggregateKind::Sum);
+        // node 0 holds the only weight; if it dies SUM is undefined
+        assert!(d.reference_over([1]).is_none());
+    }
+
+    #[test]
+    fn bus_case_average_is_two() {
+        for n in [1, 2, 5, 100] {
+            let d = InitialData::bus_case(n);
+            assert_eq!(d.reference()[0].to_f64(), 2.0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn spike_average_is_one() {
+        let d = InitialData::spike(17);
+        assert_eq!(d.reference()[0].to_f64(), 1.0);
+    }
+
+    #[test]
+    fn uniform_random_reproducible() {
+        let a = InitialData::uniform_random(10, AggregateKind::Average, 5);
+        let b = InitialData::uniform_random(10, AggregateKind::Average, 5);
+        assert_eq!(a.value(3), b.value(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = InitialData::new(vec![1.0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero weights")]
+    fn zero_weights_rejected() {
+        let _ = InitialData::new(vec![1.0, 2.0], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent payload dimensions")]
+    fn ragged_vectors_rejected() {
+        let _ = InitialData::new(vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Purely local convergence detection.
+//!
+//! The experiment harness can stop a reduction with an oracle (it knows the
+//! true aggregate to double-double precision). Real deployments cannot; a
+//! node can only watch its *own* estimate. The standard criterion — also
+//! what a dmGS node must use to decide a reduction is done — is stability:
+//! the estimate has not moved by more than a relative tolerance over a
+//! window of rounds. This is a heuristic (a slow-mixing topology can
+//! plateau transiently), so the window is configurable.
+
+use gr_topology::NodeId;
+
+/// Sliding-window stability detector over per-node scalar estimates.
+#[derive(Clone, Debug)]
+pub struct LocalConvergence {
+    window: usize,
+    rel_tol: f64,
+    /// Ring buffers, `history[node * window + k]`.
+    history: Vec<f64>,
+    /// Number of observations so far per node.
+    seen: Vec<u64>,
+}
+
+impl LocalConvergence {
+    /// A detector for `n` nodes: converged when the estimate's relative
+    /// spread over the last `window` observations is at most `rel_tol`.
+    ///
+    /// # Panics
+    /// Panics if `window < 2` or `rel_tol` is not positive.
+    pub fn new(n: usize, window: usize, rel_tol: f64) -> Self {
+        assert!(window >= 2, "window must cover at least 2 observations");
+        assert!(rel_tol > 0.0, "tolerance must be positive");
+        LocalConvergence {
+            window,
+            rel_tol,
+            history: vec![f64::NAN; n * window],
+            seen: vec![0; n],
+        }
+    }
+
+    /// Record one observation of `node`'s estimate.
+    pub fn observe(&mut self, node: NodeId, estimate: f64) {
+        let i = node as usize;
+        let slot = (self.seen[i] as usize) % self.window;
+        self.history[i * self.window + slot] = estimate;
+        self.seen[i] += 1;
+    }
+
+    /// `true` once `node`'s last `window` observations lie within the
+    /// relative tolerance band. NaN observations (e.g. an undefined
+    /// push-sum estimate) never converge.
+    pub fn node_converged(&self, node: NodeId) -> bool {
+        let i = node as usize;
+        if self.seen[i] < self.window as u64 {
+            return false;
+        }
+        let h = &self.history[i * self.window..(i + 1) * self.window];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in h {
+            if x.is_nan() {
+                return false;
+            }
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        let scale = lo.abs().max(hi.abs()).max(f64::MIN_POSITIVE);
+        (hi - lo) <= self.rel_tol * scale
+    }
+
+    /// `true` once every node in `nodes` is converged.
+    pub fn all_converged<I: IntoIterator<Item = NodeId>>(&self, nodes: I) -> bool {
+        nodes.into_iter().all(|i| self.node_converged(i))
+    }
+
+    /// Reset all history (e.g. between chained reductions).
+    pub fn reset(&mut self) {
+        self.history.fill(f64::NAN);
+        self.seen.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_full_window() {
+        let mut d = LocalConvergence::new(1, 3, 1e-12);
+        d.observe(0, 1.0);
+        d.observe(0, 1.0);
+        assert!(!d.node_converged(0));
+        d.observe(0, 1.0);
+        assert!(d.node_converged(0));
+    }
+
+    #[test]
+    fn moving_estimate_not_converged() {
+        let mut d = LocalConvergence::new(1, 3, 1e-12);
+        for k in 0..10 {
+            d.observe(0, k as f64);
+        }
+        assert!(!d.node_converged(0));
+        // then it stabilises
+        for _ in 0..3 {
+            d.observe(0, 10.0);
+        }
+        assert!(d.node_converged(0));
+    }
+
+    #[test]
+    fn relative_tolerance_scales() {
+        let mut d = LocalConvergence::new(1, 2, 1e-6);
+        d.observe(0, 1e9);
+        d.observe(0, 1e9 + 100.0); // 1e-7 relative
+        assert!(d.node_converged(0));
+        let mut d2 = LocalConvergence::new(1, 2, 1e-6);
+        d2.observe(0, 1.0);
+        d2.observe(0, 1.0 + 1e-4);
+        assert!(!d2.node_converged(0));
+    }
+
+    #[test]
+    fn nan_never_converges() {
+        let mut d = LocalConvergence::new(1, 2, 1e-3);
+        d.observe(0, f64::NAN);
+        d.observe(0, f64::NAN);
+        assert!(!d.node_converged(0));
+    }
+
+    #[test]
+    fn all_converged_over_subset() {
+        let mut d = LocalConvergence::new(3, 2, 1e-9);
+        for _ in 0..2 {
+            d.observe(0, 5.0);
+            d.observe(2, 7.0);
+        }
+        // node 1 never observed
+        assert!(d.all_converged([0, 2]));
+        assert!(!d.all_converged([0, 1, 2]));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = LocalConvergence::new(1, 2, 1e-9);
+        d.observe(0, 1.0);
+        d.observe(0, 1.0);
+        assert!(d.node_converged(0));
+        d.reset();
+        assert!(!d.node_converged(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_window_rejected() {
+        let _ = LocalConvergence::new(1, 1, 1e-9);
+    }
+
+    #[test]
+    fn zero_estimates_converge() {
+        // scale guard: all-zero history must not divide by zero
+        let mut d = LocalConvergence::new(1, 2, 1e-9);
+        d.observe(0, 0.0);
+        d.observe(0, 0.0);
+        assert!(d.node_converged(0));
+    }
+}

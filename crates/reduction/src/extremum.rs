@@ -1,0 +1,196 @@
+//! Extremum (min/max) gossip — the idempotent sibling of the sum family.
+//!
+//! Minimum and maximum are *idempotent* aggregates: combining a value
+//! twice changes nothing, so the protocol needs no mass bookkeeping at
+//! all — every node keeps its best-known extremum and pushes it to a
+//! random neighbor each round. Loss, duplication, delay and bit flips
+//! that *lower* a max (or raise a min) are all healed by re-propagation;
+//! epidemic spreading gives `O(log n)` convergence on well-connected
+//! topologies.
+//!
+//! Extrema complement the paper's sum/average reductions in practice:
+//! distributed termination tests ("has every node converged?" = a global
+//! AND = a min over {0,1}) and normalisation bounds (‖x‖∞) are extremum
+//! reductions. The asymmetry to keep in mind: an extremum, once spread,
+//! cannot be *retracted* — a crashed node's contribution survives it, and
+//! a bit flip that **raises** a max is adopted and propagated as if it
+//! were real data (the one soft-error class this protocol cannot heal;
+//! see `bit_flip_can_poison_max` below).
+
+use crate::aggregate::InitialData;
+use crate::protocol::ReductionProtocol;
+use gr_netsim::Protocol;
+use gr_topology::{Graph, NodeId};
+
+/// Which extremum to compute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Extremum {
+    /// Global minimum.
+    Min,
+    /// Global maximum.
+    Max,
+}
+
+/// Extremum-gossip protocol state (all nodes).
+pub struct ExtremumGossip {
+    kind: Extremum,
+    best: Vec<f64>,
+}
+
+impl ExtremumGossip {
+    /// Initialise from per-node scalar data (weights are ignored —
+    /// extrema are unweighted).
+    pub fn new(graph: &Graph, init: &InitialData<f64>, kind: Extremum) -> Self {
+        assert_eq!(graph.len(), init.len(), "graph/init size mismatch");
+        let best = (0..init.len()).map(|i| *init.value(i)).collect();
+        ExtremumGossip { kind, best }
+    }
+
+    /// The extremum this instance computes.
+    pub fn kind(&self) -> Extremum {
+        self.kind
+    }
+
+    #[inline]
+    fn merge(&mut self, node: NodeId, candidate: f64) {
+        // NaN candidates (corrupted payloads) are ignored outright.
+        if candidate.is_nan() {
+            return;
+        }
+        let slot = &mut self.best[node as usize];
+        *slot = match self.kind {
+            Extremum::Min => slot.min(candidate),
+            Extremum::Max => slot.max(candidate),
+        };
+    }
+}
+
+impl Protocol for ExtremumGossip {
+    type Msg = f64;
+
+    fn on_send(&mut self, node: NodeId, _target: NodeId) -> f64 {
+        self.best[node as usize]
+    }
+
+    fn on_receive(&mut self, node: NodeId, _from: NodeId, msg: f64) {
+        self.merge(node, msg);
+    }
+}
+
+impl ReductionProtocol for ExtremumGossip {
+    fn node_count(&self) -> usize {
+        self.best.len()
+    }
+
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn write_estimate(&self, node: NodeId, out: &mut [f64]) {
+        out[0] = self.best[node as usize];
+    }
+
+    fn write_mass(&self, node: NodeId, values: &mut [f64]) -> f64 {
+        // Extrema have no mass semantics; report the estimate with unit
+        // weight so oracle plumbing (crash references) stays meaningful.
+        values[0] = self.best[node as usize];
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateKind;
+    use gr_netsim::{FaultPlan, Simulator};
+    use gr_topology::{complete, hypercube, ring};
+
+    fn data(n: usize, seed: u64) -> InitialData<f64> {
+        InitialData::uniform_random(n, AggregateKind::Average, seed)
+    }
+
+    fn true_max(d: &InitialData<f64>) -> f64 {
+        (0..d.len()).map(|i| *d.value(i)).fold(f64::MIN, f64::max)
+    }
+
+    #[test]
+    fn max_spreads_in_logarithmic_time() {
+        let g = hypercube(8); // 256 nodes
+        let d = data(256, 1);
+        let mx = true_max(&d);
+        let mut sim = Simulator::new(&g, ExtremumGossip::new(&g, &d, Extremum::Max), FaultPlan::none(), 1);
+        sim.run(60); // ~8·log2(256) rounds is ample
+        for i in 0..256 {
+            assert_eq!(sim.protocol().scalar_estimate(i), mx, "node {i}");
+        }
+    }
+
+    #[test]
+    fn min_on_ring_needs_diameter_rounds() {
+        let g = ring(16);
+        let d = data(16, 2);
+        let mn = (0..16).map(|i| *d.value(i)).fold(f64::MAX, f64::min);
+        let mut sim = Simulator::new(&g, ExtremumGossip::new(&g, &d, Extremum::Min), FaultPlan::none(), 2);
+        sim.run(200);
+        assert!(sim.protocol().scalar_estimates().iter().all(|&e| e == mn));
+    }
+
+    #[test]
+    fn immune_to_heavy_message_loss() {
+        let g = complete(32);
+        let d = data(32, 3);
+        let mx = true_max(&d);
+        let mut sim = Simulator::new(&g, ExtremumGossip::new(&g, &d, Extremum::Max), FaultPlan::with_loss(0.5), 3);
+        sim.run(120);
+        assert!(sim.protocol().scalar_estimates().iter().all(|&e| e == mx));
+    }
+
+    #[test]
+    fn crashed_nodes_contribution_survives() {
+        // The holder of the max crashes after one round of spreading; the
+        // value persists (extremum semantics — by design, unlike mass).
+        let g = complete(8);
+        let values = vec![1.0, 2.0, 3.0, 99.0, 4.0, 5.0, 6.0, 7.0];
+        let d = InitialData::with_kind(values, AggregateKind::Average);
+        let plan = FaultPlan::none().crash_node(3, 5);
+        let mut sim = Simulator::new(&g, ExtremumGossip::new(&g, &d, Extremum::Max), plan, 4);
+        sim.run(100);
+        for i in sim.alive_nodes().collect::<Vec<_>>() {
+            assert_eq!(sim.protocol().scalar_estimate(i), 99.0);
+        }
+    }
+
+    #[test]
+    fn bit_flip_can_poison_max() {
+        // The documented limitation: a flip that *raises* a value is
+        // indistinguishable from real data and spreads. Run with heavy
+        // corruption and verify the max is (very likely) inflated.
+        let g = complete(16);
+        let d = data(16, 5);
+        let mx = true_max(&d);
+        let mut sim = Simulator::new(
+            &g,
+            ExtremumGossip::new(&g, &d, Extremum::Max),
+            FaultPlan::with_bit_flips(0.2),
+            5,
+        );
+        sim.run(300);
+        let got = sim
+            .protocol()
+            .scalar_estimates()
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        assert!(got >= mx, "extrema can only grow");
+        assert!(got > mx, "with ~1000 flips, inflation is certain in practice");
+    }
+
+    #[test]
+    fn nan_payloads_ignored() {
+        let g = complete(4);
+        let d = InitialData::with_kind(vec![1.0, 2.0, 3.0, 4.0], AggregateKind::Average);
+        let mut p = ExtremumGossip::new(&g, &d, Extremum::Max);
+        p.on_receive(0, 1, f64::NAN);
+        assert_eq!(p.scalar_estimate(0), 1.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Data payloads flowing through the reduction protocols.
+//!
+//! The push-sum family aggregates a pair `(value, weight)`: the estimate at
+//! a node is `value/weight`. The *value* may be a scalar or a short vector
+//! (vector payloads let `gr-dmgs` batch all the dot products of one
+//! orthogonalization step into a single reduction); the *weight* is always
+//! a scalar. [`Mass`] bundles the two — it is simultaneously the unit of
+//! initial data, the flow-variable type of PF/PCF, and the wire payload.
+
+use gr_netsim::Corrupt;
+use std::fmt;
+
+/// The value component of a mass: scalar `f64` or a fixed-dimension vector.
+///
+/// All arithmetic is plain IEEE-754 — deliberately so: the numerical
+/// weaknesses of push-flow that the paper analyses *are* plain-f64
+/// artefacts, and compensated tricks here would mask the phenomenon under
+/// study.
+pub trait Payload: Clone + PartialEq + fmt::Debug + Corrupt + Send + 'static {
+    /// A zero value of dimension `dim`.
+    fn zeros(dim: usize) -> Self;
+
+    /// Number of scalar components.
+    fn dim(&self) -> usize;
+
+    /// `self += rhs` componentwise.
+    fn add_assign(&mut self, rhs: &Self);
+
+    /// `self -= rhs` componentwise.
+    fn sub_assign(&mut self, rhs: &Self);
+
+    /// `self = -self`.
+    fn negate(&mut self);
+
+    /// `self *= s`.
+    fn scale(&mut self, s: f64);
+
+    /// IEEE semantic equality of every component (`0.0 == -0.0`, NaN never
+    /// equal). This is the conservation test `f_{j,i} = −f_{i,j}` of the
+    /// PCF pseudocode: it holds exactly when the last exchange on the edge
+    /// completed, because receivers produce their flow by negating the
+    /// sender's bits.
+    fn eq_components(&self, rhs: &Self) -> bool;
+
+    /// `true` iff `self == -rhs` componentwise (without allocating).
+    fn is_neg_of(&self, rhs: &Self) -> bool;
+
+    /// Read-only view of the scalar components.
+    fn components(&self) -> &[f64];
+
+    /// Build a payload from scalar components.
+    ///
+    /// # Panics
+    /// Implementations panic if the slice length does not fit the type
+    /// (scalar payloads require exactly one component).
+    fn from_components(comps: &[f64]) -> Self;
+}
+
+impl Payload for f64 {
+    #[inline]
+    fn zeros(dim: usize) -> Self {
+        assert_eq!(dim, 1, "scalar payload has dimension 1, asked for {dim}");
+        0.0
+    }
+    #[inline]
+    fn dim(&self) -> usize {
+        1
+    }
+    #[inline]
+    fn add_assign(&mut self, rhs: &Self) {
+        *self += *rhs;
+    }
+    #[inline]
+    fn sub_assign(&mut self, rhs: &Self) {
+        *self -= *rhs;
+    }
+    #[inline]
+    fn negate(&mut self) {
+        *self = -*self;
+    }
+    #[inline]
+    fn scale(&mut self, s: f64) {
+        *self *= s;
+    }
+    #[inline]
+    fn eq_components(&self, rhs: &Self) -> bool {
+        *self == *rhs
+    }
+    #[inline]
+    fn is_neg_of(&self, rhs: &Self) -> bool {
+        *self == -*rhs
+    }
+    #[inline]
+    fn components(&self) -> &[f64] {
+        std::slice::from_ref(self)
+    }
+    #[inline]
+    fn from_components(comps: &[f64]) -> Self {
+        assert_eq!(comps.len(), 1, "scalar payload has one component");
+        comps[0]
+    }
+}
+
+impl Payload for Vec<f64> {
+    fn zeros(dim: usize) -> Self {
+        vec![0.0; dim]
+    }
+    fn dim(&self) -> usize {
+        self.len()
+    }
+    fn add_assign(&mut self, rhs: &Self) {
+        debug_assert_eq!(self.len(), rhs.len());
+        for (a, b) in self.iter_mut().zip(rhs) {
+            *a += *b;
+        }
+    }
+    fn sub_assign(&mut self, rhs: &Self) {
+        debug_assert_eq!(self.len(), rhs.len());
+        for (a, b) in self.iter_mut().zip(rhs) {
+            *a -= *b;
+        }
+    }
+    fn negate(&mut self) {
+        for a in self.iter_mut() {
+            *a = -*a;
+        }
+    }
+    fn scale(&mut self, s: f64) {
+        for a in self.iter_mut() {
+            *a *= s;
+        }
+    }
+    fn eq_components(&self, rhs: &Self) -> bool {
+        self.len() == rhs.len() && self.iter().zip(rhs).all(|(a, b)| a == b)
+    }
+    fn is_neg_of(&self, rhs: &Self) -> bool {
+        self.len() == rhs.len() && self.iter().zip(rhs).all(|(a, b)| *a == -*b)
+    }
+    fn components(&self) -> &[f64] {
+        self
+    }
+    fn from_components(comps: &[f64]) -> Self {
+        comps.to_vec()
+    }
+}
+
+/// A `(value, weight)` pair — the paper's `(x_i, w_i)` tuples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mass<P> {
+    /// Aggregated data.
+    pub value: P,
+    /// Aggregation weight.
+    pub weight: f64,
+}
+
+impl<P: Payload> Mass<P> {
+    /// A new mass.
+    pub fn new(value: P, weight: f64) -> Self {
+        Mass { value, weight }
+    }
+
+    /// The zero mass of dimension `dim`.
+    pub fn zero(dim: usize) -> Self {
+        Mass {
+            value: P::zeros(dim),
+            weight: 0.0,
+        }
+    }
+
+    /// Dimension of the value component.
+    pub fn dim(&self) -> usize {
+        self.value.dim()
+    }
+
+    /// `self += rhs`.
+    #[inline]
+    pub fn add_assign(&mut self, rhs: &Self) {
+        self.value.add_assign(&rhs.value);
+        self.weight += rhs.weight;
+    }
+
+    /// `self -= rhs`.
+    #[inline]
+    pub fn sub_assign(&mut self, rhs: &Self) {
+        self.value.sub_assign(&rhs.value);
+        self.weight -= rhs.weight;
+    }
+
+    /// `self = -self`.
+    #[inline]
+    pub fn negate(&mut self) {
+        self.value.negate();
+        self.weight = -self.weight;
+    }
+
+    /// A negated copy.
+    #[inline]
+    pub fn negated(&self) -> Self {
+        let mut m = self.clone();
+        m.negate();
+        m
+    }
+
+    /// `self *= s` (value and weight).
+    #[inline]
+    pub fn scale(&mut self, s: f64) {
+        self.value.scale(s);
+        self.weight *= s;
+    }
+
+    /// Set to zero in place (keeps the allocation of vector payloads).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.value.scale(0.0);
+        // scale(0.0) leaves NaN/inf residue if a component was non-finite;
+        // a corrupted flow must still clear exactly, so overwrite instead.
+        if self.value.components().iter().any(|c| !(*c == 0.0)) {
+            self.value = P::zeros(self.value.dim());
+        }
+        self.weight = 0.0;
+    }
+
+    /// Conservation test: `self == -rhs` on every component and the weight.
+    #[inline]
+    pub fn is_neg_of(&self, rhs: &Self) -> bool {
+        self.weight == -rhs.weight && self.value.is_neg_of(&rhs.value)
+    }
+
+    /// `true` iff value and weight are all exactly zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.weight == 0.0 && self.value.components().iter().all(|&c| c == 0.0)
+    }
+
+    /// The estimate this mass encodes, written componentwise into `out`:
+    /// `out[k] = value[k] / weight`.
+    #[inline]
+    pub fn write_estimate(&self, out: &mut [f64]) {
+        let comps = self.value.components();
+        debug_assert_eq!(out.len(), comps.len());
+        for (o, &c) in out.iter_mut().zip(comps) {
+            *o = c / self.weight;
+        }
+    }
+}
+
+impl<P: Payload> Corrupt for Mass<P> {
+    fn corruptible_bits(&self) -> u32 {
+        self.value.corruptible_bits() + 64
+    }
+    fn flip_bit(&mut self, bit: u32) {
+        let vb = self.value.corruptible_bits();
+        if bit < vb {
+            self.value.flip_bit(bit);
+        } else {
+            self.weight.flip_bit(bit - vb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_payload_ops() {
+        let mut x = 2.0f64;
+        x.add_assign(&3.0);
+        assert_eq!(x, 5.0);
+        x.negate();
+        assert_eq!(x, -5.0);
+        x.scale(2.0);
+        assert_eq!(x, -10.0);
+        assert!(x.is_neg_of(&10.0));
+        assert_eq!(x.components(), &[-10.0]);
+        assert_eq!(f64::zeros(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension 1")]
+    fn scalar_payload_wrong_dim() {
+        let _ = f64::zeros(3);
+    }
+
+    #[test]
+    fn vector_payload_ops() {
+        let mut v = vec![1.0, -2.0];
+        v.add_assign(&vec![1.0, 1.0]);
+        assert_eq!(v, vec![2.0, -1.0]);
+        v.scale(-1.0);
+        assert!(v.is_neg_of(&vec![2.0, -1.0]));
+        assert_eq!(Vec::<f64>::zeros(3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn signed_zero_is_semantically_equal() {
+        // Conservation must hold between 0.0 and -0.0 (bit patterns differ).
+        assert!(0.0f64.is_neg_of(&-0.0));
+        assert!(0.0f64.is_neg_of(&0.0));
+        assert!(Mass::new(0.0, 0.0).is_neg_of(&Mass::new(-0.0, -0.0)));
+    }
+
+    #[test]
+    fn nan_is_never_conserved() {
+        let m = Mass::new(f64::NAN, 0.0);
+        assert!(!m.is_neg_of(&m.negated()));
+    }
+
+    #[test]
+    fn mass_arithmetic() {
+        let mut m = Mass::new(4.0, 1.0);
+        m.add_assign(&Mass::new(1.0, 0.5));
+        assert_eq!(m, Mass::new(5.0, 1.5));
+        m.sub_assign(&Mass::new(5.0, 0.5));
+        assert_eq!(m, Mass::new(0.0, 1.0));
+        m.scale(0.5);
+        assert_eq!(m.weight, 0.5);
+    }
+
+    #[test]
+    fn mass_clear_handles_nonfinite() {
+        let mut m = Mass::new(f64::INFINITY, 3.0);
+        m.clear();
+        assert!(m.is_zero());
+        let mut v = Mass::new(vec![f64::NAN, 1.0], 2.0);
+        v.clear();
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn mass_estimate() {
+        let m = Mass::new(vec![6.0, 9.0], 3.0);
+        let mut out = [0.0; 2];
+        m.write_estimate(&mut out);
+        assert_eq!(out, [2.0, 3.0]);
+    }
+
+    #[test]
+    fn mass_corruption_reaches_weight() {
+        let mut m = Mass::new(1.0f64, 1.0);
+        assert_eq!(m.corruptible_bits(), 128);
+        m.flip_bit(64 + 63); // sign bit of weight
+        assert_eq!(m.weight, -1.0);
+        assert_eq!(m.value, 1.0);
+    }
+
+    #[test]
+    fn conservation_after_negation_roundtrip() {
+        let m = Mass::new(vec![1.25, -7.5, 0.0], 2.5);
+        assert!(m.is_neg_of(&m.negated()));
+        assert!(m.negated().is_neg_of(&m));
+        assert!(!m.is_neg_of(&m));
+    }
+}

@@ -1,0 +1,46 @@
+//! The common interface of all reduction protocols.
+
+use gr_netsim::Protocol;
+use gr_topology::NodeId;
+
+/// A gossip protocol that computes an all-to-all aggregate: every node
+/// carries a converging local estimate of `(Σ xᵢ)/(Σ wᵢ)`.
+///
+/// Extends the simulator-facing [`Protocol`] with estimate inspection —
+/// the simulator never looks at estimates, but runners, convergence
+/// detectors and experiments do.
+pub trait ReductionProtocol: Protocol {
+    /// Number of nodes the protocol instance manages.
+    fn node_count(&self) -> usize;
+
+    /// Dimension of the aggregated value (1 for scalar reductions).
+    fn dim(&self) -> usize;
+
+    /// Write node `node`'s current estimate, componentwise, into `out`
+    /// (`out.len()` must equal [`dim`](Self::dim)). Components may be NaN
+    /// while a node's weight estimate is still zero.
+    fn write_estimate(&self, node: NodeId, out: &mut [f64]);
+
+    /// Write node `node`'s current *mass* — the `(value, weight)` pair its
+    /// estimate is the ratio of — into `values` (length [`dim`](Self::dim))
+    /// and return the weight. The oracle uses this to recompute the
+    /// achievable aggregate over survivors after a node crash: whatever
+    /// mass the dead node held is gone, and the survivors' target is the
+    /// ratio of their *current* total mass, not of their initial data.
+    fn write_mass(&self, node: NodeId, values: &mut [f64]) -> f64;
+
+    /// Convenience accessor for scalar (`dim() == 1`) reductions.
+    fn scalar_estimate(&self, node: NodeId) -> f64 {
+        debug_assert_eq!(self.dim(), 1, "scalar_estimate on a vector reduction");
+        let mut buf = [0.0];
+        self.write_estimate(node, &mut buf);
+        buf[0]
+    }
+
+    /// All scalar estimates as a vector (testing/experiment convenience).
+    fn scalar_estimates(&self) -> Vec<f64> {
+        (0..self.node_count() as NodeId)
+            .map(|i| self.scalar_estimate(i))
+            .collect()
+    }
+}

@@ -1,0 +1,224 @@
+//! Push-pull sum: bidirectional mass exchange per contact.
+//!
+//! The push-only protocols share a structural weakness on
+//! degree-asymmetric topologies: a node sheds half its mass every time it
+//! *initiates* but is replenished only when someone happens to pick *it*,
+//! so rarely-contacted nodes (star leaves, low-degree nodes next to hubs)
+//! see their holdings decay geometrically. For push-sum the tiny holdings
+//! stay *exact* (mass is stored directly) and only the conditioning
+//! suffers; for the flow algorithms the holding is **derived** as
+//! `v − ϕ` from O(1) bookkeeping, so once it falls below `ε·|ϕ|` it
+//! quantizes to garbage and the resulting NaN estimates spread (see
+//! `gr-spectral`'s starvation notes). Push-**pull** closes the loop: when
+//! `i` contacts `k`, `k` replies with half of its own mass in the same
+//! exchange, so every contact is mass-balancing in both directions — a
+//! node's holding is refilled by its *own* activity, which the scheduler
+//! guarantees every round.
+//!
+//! The price is the same as push-sum's: mass rides in messages, so a lost
+//! message (or a lost *reply*) permanently deletes mass. Push-pull is the
+//! right baseline for topology studies, not a fault-tolerance contender —
+//! combining pull-style replies with flow bookkeeping is an open corner
+//! the paper doesn't touch.
+
+use crate::aggregate::InitialData;
+use crate::payload::{Mass, Payload};
+use crate::protocol::ReductionProtocol;
+use gr_netsim::Protocol;
+use gr_topology::{Graph, NodeId};
+
+/// Push-pull-sum protocol state (all nodes).
+pub struct PushPullSum<P: Payload> {
+    mass: Vec<Mass<P>>,
+    dim: usize,
+}
+
+impl<P: Payload> PushPullSum<P> {
+    /// Initialise from per-node data.
+    pub fn new(graph: &Graph, init: &InitialData<P>) -> Self {
+        assert_eq!(graph.len(), init.len(), "graph/init size mismatch");
+        let mass = (0..init.len())
+            .map(|i| Mass::new(init.value(i).clone(), init.weight(i)))
+            .collect();
+        PushPullSum {
+            mass,
+            dim: init.dim(),
+        }
+    }
+
+    /// Current mass of a node (inspection hook).
+    pub fn mass(&self, node: NodeId) -> &Mass<P> {
+        &self.mass[node as usize]
+    }
+
+    /// Smallest weight currently held by any node — the starvation
+    /// indicator push-pull keeps bounded away from zero.
+    pub fn min_weight(&self) -> f64 {
+        self.mass
+            .iter()
+            .map(|m| m.weight)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl<P: Payload> Protocol for PushPullSum<P> {
+    type Msg = Mass<P>;
+
+    fn on_send(&mut self, node: NodeId, _target: NodeId) -> Mass<P> {
+        let m = &mut self.mass[node as usize];
+        m.scale(0.5);
+        m.clone()
+    }
+
+    fn on_receive(&mut self, node: NodeId, _from: NodeId, msg: Mass<P>) {
+        self.mass[node as usize].add_assign(&msg);
+    }
+
+    fn reply(&mut self, node: NodeId, _from: NodeId) -> Option<Mass<P>> {
+        // The pull half: answer with half of our own (post-merge) mass.
+        let m = &mut self.mass[node as usize];
+        m.scale(0.5);
+        Some(m.clone())
+    }
+}
+
+impl<P: Payload> ReductionProtocol for PushPullSum<P> {
+    fn node_count(&self) -> usize {
+        self.mass.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn write_estimate(&self, node: NodeId, out: &mut [f64]) {
+        self.mass[node as usize].write_estimate(out);
+    }
+
+    fn write_mass(&self, node: NodeId, values: &mut [f64]) -> f64 {
+        let m = &self.mass[node as usize];
+        values.copy_from_slice(m.value.components());
+        m.weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateKind;
+    use crate::push_sum::PushSum;
+    use gr_netsim::{FaultPlan, Simulator};
+    use gr_numerics::max_relative_error;
+    use gr_topology::{complete, hypercube, star};
+
+    fn avg_data(n: usize, seed: u64) -> InitialData<f64> {
+        InitialData::uniform_random(n, AggregateKind::Average, seed)
+    }
+
+    #[test]
+    fn converges_on_complete_graph() {
+        let g = complete(16);
+        let data = avg_data(16, 1);
+        let mut sim = Simulator::new(&g, PushPullSum::new(&g, &data), FaultPlan::none(), 1);
+        sim.run(150);
+        let err = max_relative_error(sim.protocol().scalar_estimates(), data.reference()[0]);
+        assert!(err < 1e-12, "err={err}");
+    }
+
+    #[test]
+    fn mass_conserved_failure_free() {
+        let g = hypercube(4);
+        let data = avg_data(16, 2);
+        let mut sim = Simulator::new(&g, PushPullSum::new(&g, &data), FaultPlan::none(), 2);
+        for _ in 0..100 {
+            sim.step();
+            let w: f64 = (0..16).map(|i| sim.protocol().mass(i).weight).sum();
+            assert!((w - 16.0).abs() < 1e-11, "weight mass drifted: {w}");
+        }
+    }
+
+    #[test]
+    fn star_does_not_starve_under_push_pull() {
+        // The structural fix: push-pull leaves refill themselves at every
+        // own contact, so the minimum weight stays bounded (push-only
+        // leaf weights decay to ~2^-gap since their last contact) and the
+        // reduction converges to machine precision over arbitrarily long
+        // runs.
+        let g = star(17);
+        let data = avg_data(17, 3);
+        let reference = data.reference()[0];
+        let mut sim = Simulator::new(&g, PushPullSum::new(&g, &data), FaultPlan::none(), 3);
+        sim.run(4000); // far beyond the flow-algorithms' quantization horizon
+        let minw = sim.protocol().min_weight();
+        assert!(
+            minw > 1e-6,
+            "push-pull should keep leaf weights alive, min = {minw:e}"
+        );
+        let err = max_relative_error(sim.protocol().scalar_estimates(), reference);
+        assert!(err < 1e-12, "err={err}");
+        // Contrast the weight conditioning with push-only on the same
+        // setup: its smallest weight is orders of magnitude smaller.
+        let mut push = Simulator::new(&g, PushSum::new(&g, &data), FaultPlan::none(), 3);
+        push.run(4000);
+        let push_minw = push
+            .protocol()
+            .scalar_estimates() // estimates stay fine (mass is exact) ...
+            .iter()
+            .map(|e| ((e - reference.to_f64()) / reference.to_f64()).abs())
+            .fold(0.0f64, f64::max);
+        assert!(push_minw < 1e-9, "push-sum's direct mass keeps ratios fine");
+        let w_push: Vec<f64> = (0..17).map(|i| push.protocol().mass(i).weight).collect();
+        let push_min = w_push.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            push_min < minw / 100.0,
+            "push-only weights should be far worse conditioned: {push_min:e} vs {minw:e}"
+        );
+    }
+
+    #[test]
+    fn star_flow_algorithms_starve_where_push_pull_does_not() {
+        // The derived-state quantization: PF on a star for thousands of
+        // rounds destroys leaf estimates (holdings below ε·|bookkeeping|
+        // quantize to garbage and NaN spreads), while push-pull stays at
+        // machine precision above.
+        use crate::push_flow::PushFlow;
+        let g = star(17);
+        let data = avg_data(17, 3);
+        let reference = data.reference()[0];
+        let mut pf = Simulator::new(&g, PushFlow::new(&g, &data), FaultPlan::none(), 3);
+        pf.run(4000);
+        let pf_err = max_relative_error(pf.protocol().scalar_estimates(), reference);
+        assert!(
+            pf_err > 1e-8,
+            "flow-derived state should quantization-degrade on the star, err={pf_err:e}"
+        );
+    }
+
+    #[test]
+    fn message_loss_still_fatal() {
+        // Push-pull does not gain fault tolerance: lost replies delete
+        // mass exactly like lost pushes.
+        let g = complete(16);
+        let data = avg_data(16, 4);
+        let mut sim =
+            Simulator::new(&g, PushPullSum::new(&g, &data), FaultPlan::with_loss(0.1), 4);
+        sim.run(400);
+        let w: f64 = (0..16).map(|i| sim.protocol().mass(i).weight).sum();
+        assert!(w < 15.0, "loss should leak mass: {w}");
+        let err = max_relative_error(sim.protocol().scalar_estimates(), data.reference()[0]);
+        assert!(err > 1e-8, "biased limit expected, err={err}");
+    }
+
+    #[test]
+    fn vector_payloads_work() {
+        let g = hypercube(3);
+        let values: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, 1.0]).collect();
+        let data = InitialData::with_kind(values, AggregateKind::Average);
+        let mut sim = Simulator::new(&g, PushPullSum::new(&g, &data), FaultPlan::none(), 5);
+        sim.run(300);
+        let mut out = [0.0; 2];
+        sim.protocol().write_estimate(4, &mut out);
+        assert!((out[0] - 3.5).abs() < 1e-12);
+        assert!((out[1] - 1.0).abs() < 1e-12);
+    }
+}

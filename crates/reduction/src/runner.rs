@@ -1,0 +1,465 @@
+//! High-level run orchestration: build a protocol, drive it, measure it.
+//!
+//! Every experiment in the paper has the same skeleton: initialise a
+//! reduction over a topology, run synchronous rounds under some fault
+//! plan, and record the per-node local errors against the true aggregate
+//! (which the experimenter — unlike the nodes — knows exactly). This
+//! module packages that skeleton once, with oracle-based stopping rules
+//! (target accuracy, error plateau, round cap) and optional error-series
+//! recording for the figure harness.
+
+use crate::aggregate::InitialData;
+use crate::flow_updating::FlowUpdating;
+use crate::payload::Payload;
+use crate::protocol::ReductionProtocol;
+use crate::push_cancel_flow::{PhiMode, PushCancelFlow};
+use crate::push_flow::PushFlow;
+use crate::push_sum::PushSum;
+use gr_netsim::{FaultPlan, Schedule, SimOptions, SimStats, Simulator};
+use gr_numerics::{Dd, RelErr};
+use gr_topology::{Graph, NodeId};
+
+/// Which algorithm to run (experiment-harness dispatch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Kempe et al. push-sum (no fault tolerance).
+    PushSum,
+    /// Push-flow (paper Fig. 1).
+    PushFlow,
+    /// Push-cancel-flow (paper Fig. 5) with the given ϕ variant.
+    PushCancelFlow(PhiMode),
+    /// Flow updating (Jesus et al., average-only).
+    FlowUpdating,
+}
+
+impl Algorithm {
+    /// Label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::PushSum => "push-sum",
+            Algorithm::PushFlow => "PF",
+            Algorithm::PushCancelFlow(PhiMode::Eager) => "PCF",
+            Algorithm::PushCancelFlow(PhiMode::Hardened) => "PCF-hardened",
+            Algorithm::FlowUpdating => "FU",
+        }
+    }
+
+    /// All algorithm variants (sweep convenience).
+    pub fn all() -> [Algorithm; 5] {
+        [
+            Algorithm::PushSum,
+            Algorithm::PushFlow,
+            Algorithm::PushCancelFlow(PhiMode::Eager),
+            Algorithm::PushCancelFlow(PhiMode::Hardened),
+            Algorithm::FlowUpdating,
+        ]
+    }
+}
+
+/// Stopping rules and sampling cadence for a run. All stopping rules are
+/// *oracle-based* (they look at the true error); purely local detection
+/// lives in [`crate::LocalConvergence`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Stop once the max local relative error is at or below this.
+    pub target_accuracy: Option<f64>,
+    /// Hard round cap.
+    pub max_rounds: u64,
+    /// Sample the error series every this many rounds (0 = never; the
+    /// final state is always measured).
+    pub record_every: u64,
+    /// Stop when the best max-error seen has not improved by at least 10%
+    /// within this many rounds — "globally achievable accuracy" probing
+    /// for Figs. 3/6, where PF never reaches the target.
+    pub plateau_window: Option<u64>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            target_accuracy: Some(1e-15),
+            max_rounds: 100_000,
+            record_every: 0,
+            plateau_window: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Run exactly `rounds` rounds, recording every `every`.
+    pub fn fixed(rounds: u64, every: u64) -> Self {
+        RunConfig {
+            target_accuracy: None,
+            max_rounds: rounds,
+            record_every: every,
+            plateau_window: None,
+        }
+    }
+
+    /// Run to `eps` max error or until a plateau/round cap, whichever
+    /// comes first.
+    pub fn to_accuracy(eps: f64, max_rounds: u64) -> Self {
+        RunConfig {
+            target_accuracy: Some(eps),
+            max_rounds,
+            record_every: 0,
+            plateau_window: Some(4 * 1024),
+        }
+    }
+}
+
+/// One sampled point of the error trajectory.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorSample {
+    /// Round at which the sample was taken (after that round completed).
+    pub round: u64,
+    /// Max over alive nodes (and components) of the local relative error.
+    pub max: f64,
+    /// Median over alive nodes of the (per-node max-component) error.
+    pub median: f64,
+}
+
+/// Everything a run produced.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Error at the final round.
+    pub final_err: ErrorSample,
+    /// Best (smallest) max-error observed at any sample point.
+    pub best_max_err: f64,
+    /// `true` if the target accuracy was reached.
+    pub converged: bool,
+    /// The sampled trajectory (empty unless `record_every > 0`).
+    pub series: Vec<ErrorSample>,
+    /// Transport statistics from the simulator.
+    pub sim: SimStats,
+}
+
+/// The achievable aggregate over the given nodes, computed by the oracle
+/// from the protocol's *current* mass: after a fail-stop crash the dead
+/// node's current holding is gone for good, and the survivors' target is
+/// the ratio of their remaining total mass. `None` if the remaining
+/// weights sum to zero (e.g. a SUM reduction whose weight-bearing node
+/// died — the aggregate is then undefined).
+pub fn mass_reference<P: ReductionProtocol + ?Sized>(
+    proto: &P,
+    nodes: impl Iterator<Item = NodeId>,
+) -> Option<Vec<Dd>> {
+    let dim = proto.dim();
+    let mut vsum = vec![Dd::ZERO; dim];
+    let mut wsum = Dd::ZERO;
+    let mut buf = vec![0.0; dim];
+    for i in nodes {
+        let w = proto.write_mass(i, &mut buf);
+        for (acc, &c) in vsum.iter_mut().zip(buf.iter()) {
+            *acc += c;
+        }
+        wsum += w;
+    }
+    if wsum.is_zero() {
+        return None;
+    }
+    Some(vsum.into_iter().map(|v| v / wsum).collect())
+}
+
+/// Measure the current error of `proto` against per-component references,
+/// over the given alive nodes.
+pub fn measure_error<P: ReductionProtocol + ?Sized>(
+    proto: &P,
+    refs: &[Dd],
+    alive: impl Iterator<Item = NodeId>,
+    round: u64,
+) -> ErrorSample {
+    let dim = proto.dim();
+    let mut buf = vec![0.0; dim];
+    let mut per_node = Vec::new();
+    for i in alive {
+        proto.write_estimate(i, &mut buf);
+        let mut worst = 0.0f64;
+        for (k, &r) in refs.iter().enumerate() {
+            let e = gr_numerics::relative_error(buf[k], r);
+            // NB: `f64::max` would silently drop a NaN operand; treat any
+            // non-comparable value as a destroyed estimate.
+            if e.is_nan() {
+                worst = f64::INFINITY;
+            } else {
+                worst = worst.max(e);
+            }
+        }
+        per_node.push(worst);
+    }
+    let e = RelErr::of(per_node.iter().copied(), Dd::ZERO);
+    // RelErr::of against a zero reference returns absolute values — i.e.
+    // the numbers themselves; reuse its max/median machinery.
+    ErrorSample {
+        round,
+        max: e.max,
+        median: e.median,
+    }
+}
+
+/// Drive an already-constructed protocol under the standard loop.
+/// Exposed so callers with custom protocols (or vector payloads) can reuse
+/// the stopping/recording logic; most callers want [`run_reduction`].
+pub fn run_with_protocol<Pr, P>(
+    graph: &Graph,
+    protocol: Pr,
+    data: &InitialData<P>,
+    plan: FaultPlan,
+    seed: u64,
+    cfg: RunConfig,
+) -> RunResult
+where
+    P: Payload,
+    Pr: ReductionProtocol,
+{
+    run_with_schedule(graph, protocol, data, plan, seed, cfg, Schedule::uniform())
+}
+
+/// [`run_with_protocol`] with an explicit schedule.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_schedule<Pr, P>(
+    graph: &Graph,
+    protocol: Pr,
+    data: &InitialData<P>,
+    plan: FaultPlan,
+    seed: u64,
+    cfg: RunConfig,
+    schedule: Schedule,
+) -> RunResult
+where
+    P: Payload,
+    Pr: ReductionProtocol,
+{
+    run_with_options(
+        graph,
+        protocol,
+        data,
+        plan,
+        seed,
+        cfg,
+        SimOptions {
+            schedule,
+            ..SimOptions::default()
+        },
+    )
+}
+
+/// [`run_with_protocol`] with full execution-model control (activation
+/// discipline, message delay).
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_options<Pr, P>(
+    graph: &Graph,
+    protocol: Pr,
+    data: &InitialData<P>,
+    plan: FaultPlan,
+    seed: u64,
+    cfg: RunConfig,
+    options: SimOptions,
+) -> RunResult
+where
+    P: Payload,
+    Pr: ReductionProtocol,
+{
+    let mut sim = Simulator::with_options(graph, protocol, plan, seed, options);
+    let mut refs = data.reference();
+    let mut alive_count = graph.len();
+    let mut crashed = false;
+
+    let mut series = Vec::new();
+    let mut best = f64::INFINITY;
+    let mut best_round = 0u64;
+    let mut converged = false;
+
+    let check_every = if cfg.record_every > 0 { cfg.record_every } else { 8 };
+
+    loop {
+        sim.step();
+        let round = sim.round();
+        let done = round >= cfg.max_rounds;
+        if round % check_every == 0 || done {
+            // Once the alive set has shrunk (crash experiments), the fixed
+            // initial-data reference is void: the dead node took its
+            // current holding with it. The survivors' achievable aggregate
+            // is the ratio of their remaining total mass — but in-flight
+            // (crossing) exchanges distort any single snapshot of that
+            // ratio by O(current error), so recompute it at *every*
+            // sample; it stabilises exactly as consensus forms.
+            let now_alive = sim.alive_nodes().count();
+            if now_alive != alive_count {
+                alive_count = now_alive;
+                crashed = true;
+            }
+            if crashed {
+                refs = mass_reference(sim.protocol(), sim.alive_nodes())
+                    .unwrap_or_else(|| vec![Dd::ZERO; data.dim()]);
+            }
+            let sample = measure_error(sim.protocol(), &refs, sim.alive_nodes(), round);
+            if cfg.record_every > 0 {
+                series.push(sample);
+            }
+            if sample.max < best * 0.9 {
+                best_round = round;
+            }
+            if sample.max < best {
+                best = sample.max;
+            }
+            if let Some(eps) = cfg.target_accuracy {
+                if sample.max <= eps {
+                    converged = true;
+                }
+            }
+            let plateaued = cfg
+                .plateau_window
+                .is_some_and(|w| round.saturating_sub(best_round) >= w);
+            if converged || done || plateaued {
+                return RunResult {
+                    rounds: round,
+                    final_err: sample,
+                    best_max_err: best,
+                    converged,
+                    series,
+                    sim: sim.stats(),
+                };
+            }
+        }
+    }
+}
+
+/// Build and run `algorithm` over scalar data — the main experiment entry
+/// point.
+pub fn run_reduction(
+    algorithm: Algorithm,
+    graph: &Graph,
+    data: &InitialData<f64>,
+    plan: FaultPlan,
+    seed: u64,
+    cfg: RunConfig,
+) -> RunResult {
+    match algorithm {
+        Algorithm::PushSum => {
+            run_with_protocol(graph, PushSum::new(graph, data), data, plan, seed, cfg)
+        }
+        Algorithm::PushFlow => {
+            run_with_protocol(graph, PushFlow::new(graph, data), data, plan, seed, cfg)
+        }
+        Algorithm::PushCancelFlow(mode) => run_with_protocol(
+            graph,
+            PushCancelFlow::with_mode(graph, data, mode),
+            data,
+            plan,
+            seed,
+            cfg,
+        ),
+        Algorithm::FlowUpdating => {
+            run_with_protocol(graph, FlowUpdating::new(graph, data), data, plan, seed, cfg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateKind;
+    use gr_topology::{complete, hypercube};
+
+    fn data(n: usize) -> InitialData<f64> {
+        InitialData::uniform_random(n, AggregateKind::Average, 3)
+    }
+
+    #[test]
+    fn run_to_accuracy_converges() {
+        let g = hypercube(4);
+        let d = data(16);
+        let r = run_reduction(
+            Algorithm::PushCancelFlow(PhiMode::Eager),
+            &g,
+            &d,
+            FaultPlan::none(),
+            1,
+            RunConfig::to_accuracy(1e-14, 10_000),
+        );
+        assert!(r.converged, "did not converge: {:?}", r.final_err);
+        assert!(r.final_err.max <= 1e-14);
+        assert!(r.rounds < 10_000);
+    }
+
+    #[test]
+    fn fixed_rounds_records_series() {
+        let g = complete(8);
+        let d = data(8);
+        let r = run_reduction(
+            Algorithm::PushFlow,
+            &g,
+            &d,
+            FaultPlan::none(),
+            2,
+            RunConfig::fixed(100, 10),
+        );
+        assert_eq!(r.rounds, 100);
+        assert_eq!(r.series.len(), 10);
+        assert_eq!(r.series.last().unwrap().round, 100);
+        // error decreases over the run
+        assert!(r.series.last().unwrap().max < r.series[0].max);
+    }
+
+    #[test]
+    fn plateau_detection_stops_early() {
+        // Push-sum under heavy loss converges to a *wrong* value: error
+        // plateaus well above target; the plateau rule must fire.
+        let g = complete(8);
+        let d = data(8);
+        let cfg = RunConfig {
+            target_accuracy: Some(1e-15),
+            max_rounds: 500_000,
+            record_every: 0,
+            plateau_window: Some(500),
+        };
+        let r = run_reduction(
+            Algorithm::PushSum,
+            &g,
+            &d,
+            FaultPlan::with_loss(0.3),
+            3,
+            cfg,
+        );
+        assert!(!r.converged);
+        assert!(r.rounds < 100_000, "plateau should stop the run: {}", r.rounds);
+        assert!(r.final_err.max > 1e-10, "loss must bias push-sum");
+    }
+
+    #[test]
+    fn all_algorithms_run_and_label() {
+        let g = complete(8);
+        let d = data(8);
+        for alg in Algorithm::all() {
+            let r = run_reduction(alg, &g, &d, FaultPlan::none(), 4, RunConfig::fixed(200, 0));
+            assert_eq!(r.rounds, 200, "{}", alg.label());
+            assert!(
+                r.final_err.max < 1e-4,
+                "{} did not make progress: {:?}",
+                alg.label(),
+                r.final_err
+            );
+            assert!(!alg.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_changes_reference_to_survivors() {
+        let g = hypercube(3);
+        let d = data(8);
+        let plan = FaultPlan::none().crash_node(5, 50);
+        let r = run_reduction(
+            Algorithm::PushCancelFlow(PhiMode::Eager),
+            &g,
+            &d,
+            plan,
+            5,
+            RunConfig::to_accuracy(1e-13, 50_000),
+        );
+        // Survivors re-converge to the survivors' aggregate.
+        assert!(r.converged, "survivors should converge: {:?}", r.final_err);
+    }
+}

@@ -1,0 +1,140 @@
+//! The reduction algorithms under relaxed execution models: asynchronous
+//! single-node activation and delayed message delivery.
+//!
+//! The paper's convergence claims are for the synchronous model; the
+//! protocols themselves only assume that flow state eventually crosses
+//! each edge, so they must converge under both relaxations — these tests
+//! pin that down (and quantify the expected slowdowns qualitatively).
+
+use gr_netsim::{Activation, DelayModel, FaultPlan, SimOptions};
+use gr_reduction::{
+    run_with_options, AggregateKind, FlowUpdating, InitialData, PhiMode, PushCancelFlow,
+    PushFlow, PushSum, RunConfig,
+};
+use gr_topology::hypercube;
+
+fn opts_async() -> SimOptions {
+    SimOptions {
+        activation: Activation::Asynchronous,
+        ..SimOptions::default()
+    }
+}
+
+fn opts_delay(d: DelayModel) -> SimOptions {
+    SimOptions {
+        delay: d,
+        ..SimOptions::default()
+    }
+}
+
+#[test]
+fn all_protocols_converge_under_async_activation() {
+    let g = hypercube(4);
+    let data = InitialData::uniform_random(16, AggregateKind::Average, 31);
+    let cfg = RunConfig::to_accuracy(1e-12, 60_000);
+    macro_rules! check {
+        ($proto:expr, $label:expr) => {{
+            let r = run_with_options(&g, $proto, &data, FaultPlan::none(), 4, cfg, opts_async());
+            assert!(r.converged, "{} async: {:?}", $label, r.final_err);
+        }};
+    }
+    check!(PushSum::new(&g, &data), "push-sum");
+    check!(PushFlow::new(&g, &data), "PF");
+    check!(PushCancelFlow::new(&g, &data), "PCF");
+    check!(
+        PushCancelFlow::with_mode(&g, &data, PhiMode::Hardened),
+        "PCF-hardened"
+    );
+    check!(FlowUpdating::new(&g, &data), "FU");
+}
+
+#[test]
+fn pcf_converges_with_fixed_delay() {
+    let g = hypercube(5);
+    let data = InitialData::uniform_random(32, AggregateKind::Average, 32);
+    let cfg = RunConfig::to_accuracy(1e-12, 100_000);
+    for d in [1u64, 3, 8] {
+        let r = run_with_options(
+            &g,
+            PushCancelFlow::new(&g, &data),
+            &data,
+            FaultPlan::none(),
+            5,
+            cfg,
+            opts_delay(DelayModel::Fixed(d)),
+        );
+        assert!(r.converged, "delay {d}: {:?}", r.final_err);
+    }
+}
+
+#[test]
+fn pf_converges_with_random_delay_and_loss() {
+    // Delay + loss together: stale flow snapshots arriving out of order
+    // plus dropped messages — the flow overwrite semantics absorb both.
+    let g = hypercube(4);
+    let data = InitialData::uniform_random(16, AggregateKind::Average, 33);
+    let cfg = RunConfig::to_accuracy(1e-11, 150_000);
+    let r = run_with_options(
+        &g,
+        PushFlow::new(&g, &data),
+        &data,
+        FaultPlan::with_loss(0.1),
+        6,
+        cfg,
+        opts_delay(DelayModel::Uniform { min: 0, max: 4 }),
+    );
+    assert!(r.converged, "{:?}", r.final_err);
+}
+
+#[test]
+fn delay_slows_but_does_not_bias() {
+    let g = hypercube(5);
+    let data = InitialData::uniform_random(32, AggregateKind::Average, 34);
+    let cfg = RunConfig::to_accuracy(1e-12, 100_000);
+    let fast = run_with_options(
+        &g,
+        PushCancelFlow::new(&g, &data),
+        &data,
+        FaultPlan::none(),
+        7,
+        cfg,
+        SimOptions::default(),
+    );
+    let slow = run_with_options(
+        &g,
+        PushCancelFlow::new(&g, &data),
+        &data,
+        FaultPlan::none(),
+        7,
+        cfg,
+        opts_delay(DelayModel::Fixed(4)),
+    );
+    assert!(fast.converged && slow.converged);
+    assert!(
+        slow.rounds > fast.rounds,
+        "delay should cost rounds: {} vs {}",
+        slow.rounds,
+        fast.rounds
+    );
+}
+
+#[test]
+fn async_link_failure_still_no_fallback_for_pcf() {
+    let g = hypercube(6);
+    let data = InitialData::uniform_random(64, AggregateKind::Average, 35);
+    let plan = FaultPlan::none().fail_link(0, 1, 75);
+    let cfg = RunConfig::fixed(200, 1);
+    let r = run_with_options(
+        &g,
+        PushCancelFlow::new(&g, &data),
+        &data,
+        plan,
+        8,
+        cfg,
+        opts_async(),
+    );
+    let at = |round: u64| r.series.iter().find(|s| s.round == round).unwrap().max;
+    // no fall-back across the failure handling
+    assert!(at(77) < at(74) * 50.0, "{} vs {}", at(77), at(74));
+    assert!(at(200) < 1e-12);
+}

@@ -1,0 +1,68 @@
+//! Gossip fairness on degree-skewed topologies, observed through the
+//! simulator's link-load counters.
+//!
+//! Uniform partner choice is fair *per sender* but not per receiver: a
+//! node's expected incoming traffic is `Σ_{j∈N} 1/deg(j)`, so hubs of a
+//! scale-free network receive far more than leaf-ish nodes — the
+//! structural reason degree-asymmetric topologies starve push gossip
+//! (see `gr-spectral`'s starvation notes).
+
+use gr_netsim::{FaultPlan, Simulator};
+use gr_reduction::{AggregateKind, InitialData, PushCancelFlow, ReductionProtocol};
+use gr_topology::{barabasi_albert, hypercube, NodeId};
+
+#[test]
+fn regular_topologies_balance_incoming_load() {
+    let g = hypercube(5);
+    let data = InitialData::uniform_random(32, AggregateKind::Average, 1);
+    let mut sim = Simulator::new(&g, PushCancelFlow::new(&g, &data), FaultPlan::none(), 1);
+    sim.enable_link_load();
+    sim.run(3000);
+    let incoming = |node: NodeId| -> u64 {
+        g.neighbors(node)
+            .iter()
+            .map(|&j| sim.link_load(j, node).unwrap())
+            .sum()
+    };
+    let loads: Vec<u64> = (0..32).map(incoming).collect();
+    let min = *loads.iter().min().unwrap() as f64;
+    let max = *loads.iter().max().unwrap() as f64;
+    assert!(
+        max / min < 1.35,
+        "regular graph should balance receive load: {min}..{max}"
+    );
+}
+
+#[test]
+fn scale_free_topologies_overload_hubs() {
+    let g = barabasi_albert(64, 2, 7);
+    let data = InitialData::uniform_random(64, AggregateKind::Average, 2);
+    let mut sim = Simulator::new(&g, PushCancelFlow::new(&g, &data), FaultPlan::none(), 2);
+    sim.enable_link_load();
+    sim.run(3000);
+    let incoming = |node: NodeId| -> u64 {
+        g.neighbors(node)
+            .iter()
+            .map(|&j| sim.link_load(j, node).unwrap())
+            .sum()
+    };
+    let hub = (0..64).max_by_key(|&i| g.degree(i)).unwrap();
+    let leaf = (0..64).min_by_key(|&i| g.degree(i)).unwrap();
+    let (h, l) = (incoming(hub), incoming(leaf));
+    assert!(
+        h as f64 > 3.0 * l as f64,
+        "hub (deg {}) should receive far more than a leaf (deg {}): {h} vs {l}",
+        g.degree(hub),
+        g.degree(leaf)
+    );
+    // ... and despite the skew, the reduction still converges.
+    let reference = data.reference()[0];
+    let worst = sim
+        .protocol()
+        .scalar_estimates()
+        .iter()
+        .map(|e| ((e - reference.to_f64()) / reference.to_f64()).abs())
+        .fold(0.0f64, f64::max)
+        ;
+    assert!(worst < 1e-7, "PCF should converge on BA graphs: {worst:e}");
+}

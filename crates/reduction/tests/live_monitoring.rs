@@ -1,0 +1,139 @@
+//! Live monitoring: inputs that change while the reduction runs.
+//!
+//! Flow-based algorithms derive the live data from `v − (flow state)`, so
+//! an input change is a local, instantaneous operation and the gossip
+//! re-converges to the new aggregate — the capability LiMoSense built a
+//! protocol around falls out of PF/PCF/FU for free. Push-sum, whose
+//! initial mass is dispersed at round one, has no such operation.
+
+use gr_netsim::{FaultPlan, Simulator};
+use gr_numerics::Dd;
+use gr_reduction::{
+    AggregateKind, FlowUpdating, InitialData, PushCancelFlow, PushFlow, ReductionProtocol,
+};
+use gr_topology::hypercube;
+
+fn max_err_vs(protocol_estimates: Vec<f64>, target: f64) -> f64 {
+    protocol_estimates
+        .iter()
+        .map(|e| ((e - target) / target).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Average of `values` with `values[k] = patch` applied, in Dd.
+fn avg_with(values: &[f64], patch: Option<(usize, f64)>) -> f64 {
+    let mut acc = Dd::ZERO;
+    for (i, &v) in values.iter().enumerate() {
+        let v = match patch {
+            Some((k, p)) if k == i => p,
+            _ => v,
+        };
+        acc += v;
+    }
+    (acc / values.len() as f64).to_f64()
+}
+
+#[test]
+fn pcf_tracks_an_input_change() {
+    let n = 64;
+    let g = hypercube(6);
+    let data = InitialData::uniform_random(n, AggregateKind::Average, 1);
+    let values: Vec<f64> = (0..n).map(|i| *data.value(i)).collect();
+    let mut sim = Simulator::new(&g, PushCancelFlow::new(&g, &data), FaultPlan::none(), 1);
+
+    sim.run(300);
+    let before = avg_with(&values, None);
+    assert!(max_err_vs(sim.protocol().scalar_estimates(), before) < 1e-13);
+
+    // Sensor 10 jumps from its old reading to 50.0 mid-run.
+    sim.protocol_mut().set_local_value(10, 50.0);
+    let after = avg_with(&values, Some((10, 50.0)));
+    // Immediately after, only node 10's estimate moved; convergence to the
+    // new aggregate follows within ordinary gossip time (the jump from
+    // ~0.5 to 50 is a ~16-decade perturbation relative to the target
+    // accuracy, so allow a full convergence horizon).
+    sim.run(600);
+    assert!(
+        max_err_vs(sim.protocol().scalar_estimates(), after) < 1e-12,
+        "PCF should re-converge to the updated aggregate"
+    );
+}
+
+#[test]
+fn pf_and_fu_track_changes_too() {
+    let n = 32;
+    let g = hypercube(5);
+    let data = InitialData::uniform_random(n, AggregateKind::Average, 2);
+    let values: Vec<f64> = (0..n).map(|i| *data.value(i)).collect();
+    let after = avg_with(&values, Some((3, -7.5)));
+
+    let mut pf = Simulator::new(&g, PushFlow::new(&g, &data), FaultPlan::none(), 2);
+    pf.run(200);
+    pf.protocol_mut().set_local_value(3, -7.5);
+    pf.run(600);
+    assert!(max_err_vs(pf.protocol().scalar_estimates(), after) < 1e-11);
+
+    let mut fu = Simulator::new(&g, FlowUpdating::new(&g, &data), FaultPlan::none(), 2);
+    fu.run(200);
+    fu.protocol_mut().set_local_value(3, -7.5);
+    fu.run(1500);
+    assert!(max_err_vs(fu.protocol().scalar_estimates(), after) < 1e-11);
+}
+
+#[test]
+fn repeated_updates_follow_a_drifting_signal() {
+    // A slowly drifting input: the running estimates chase the moving
+    // aggregate and stay within a lag proportional to the drift rate.
+    let n = 64;
+    let g = hypercube(6);
+    let data = InitialData::uniform_random(n, AggregateKind::Average, 3);
+    let mut values: Vec<f64> = (0..n).map(|i| *data.value(i)).collect();
+    let mut sim = Simulator::new(&g, PushCancelFlow::new(&g, &data), FaultPlan::none(), 3);
+    sim.run(200);
+
+    for step in 0..20 {
+        // every 40 rounds, node (step mod n) gets a fresh reading
+        let node = (step * 7) % n;
+        let new = 0.5 + (step as f64) * 0.01;
+        values[node] = new;
+        sim.protocol_mut().set_local_value(node as u32, new);
+        sim.run(40);
+        let target = avg_with(&values, None);
+        // The *max* over nodes has a heavy tail while perturbations are in
+        // flight (a node whose gossip weight is transiently tiny amplifies
+        // absolute mass noise), so track the median node.
+        let errs: Vec<f64> = sim
+            .protocol()
+            .scalar_estimates()
+            .iter()
+            .map(|e| ((e - target) / target).abs())
+            .collect();
+        let med = gr_numerics::Summary::from_iter(errs).median();
+        assert!(
+            med < 2e-3,
+            "step {step}: median estimate should lag only slightly, err={med}"
+        );
+    }
+    // Let it settle after the last change: machine precision returns.
+    sim.run(300);
+    let target = avg_with(&values, None);
+    assert!(max_err_vs(sim.protocol().scalar_estimates(), target) < 1e-13);
+}
+
+#[test]
+fn update_with_concurrent_faults() {
+    let n = 32;
+    let g = hypercube(5);
+    let data = InitialData::uniform_random(n, AggregateKind::Average, 4);
+    let values: Vec<f64> = (0..n).map(|i| *data.value(i)).collect();
+    let plan = FaultPlan::with_loss(0.15).fail_link(0, 1, 250);
+    let mut sim = Simulator::new(&g, PushCancelFlow::new(&g, &data), plan, 4);
+    sim.run(200);
+    sim.protocol_mut().set_local_value(20, 3.25);
+    sim.run(800);
+    let after = avg_with(&values, Some((20, 3.25)));
+    assert!(
+        max_err_vs(sim.protocol().scalar_estimates(), after) < 1e-12,
+        "update + loss + link failure should all be absorbed"
+    );
+}

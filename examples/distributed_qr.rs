@@ -1,0 +1,48 @@
+//! Distributed QR factorization on top of gossip reductions.
+//!
+//! Factors a 128×8 matrix whose rows live on 64 nodes, with every norm
+//! and dot product computed by a gossip reduction — first with push-flow,
+//! then with push-cancel-flow — and compares the resulting factorization
+//! quality against the sequential modified Gram-Schmidt reference. This
+//! is the paper's Sec. IV case study: reduction-level accuracy translates
+//! directly to matrix-level accuracy.
+//!
+//! Run with: `cargo run --release --example distributed_qr`
+
+use gossip_reduce::dmgs::{dmgs, DmgsConfig};
+use gossip_reduce::linalg::{factorization_error, mgs_qr, Matrix};
+use gossip_reduce::reduction::{Algorithm, PhiMode};
+use gossip_reduce::topology::hypercube;
+
+fn main() {
+    let graph = hypercube(6); // 64 nodes
+    let v = Matrix::random_uniform(128, 8, 7); // two rows per node
+
+    // Sequential reference: what a single machine would compute.
+    let (q_ref, r_ref) = mgs_qr(&v);
+    println!(
+        "sequential MGS        : ‖V−QR‖∞/‖V‖∞ = {:.2e}",
+        factorization_error(&v, &q_ref, &r_ref)
+    );
+
+    for (label, alg) in [
+        ("dmGS(push-flow)      ", Algorithm::PushFlow),
+        ("dmGS(push-cancel-flow)", Algorithm::PushCancelFlow(PhiMode::Eager)),
+    ] {
+        let mut cfg = DmgsConfig::paper(alg, 7);
+        cfg.max_rounds_per_reduction = 3000;
+        let res = dmgs(&v, &graph, &cfg);
+        println!(
+            "{label}: ‖V−QR‖∞/‖V‖∞ = {:.2e}   ‖I−QᵀQ‖∞ = {:.2e}   ({} reductions, {} gossip rounds)",
+            res.factorization_error,
+            res.orthogonality_error,
+            res.reductions,
+            res.total_rounds
+        );
+    }
+
+    println!(
+        "\nEvery node ends up with its own copy of R and its own rows of Q —\n\
+         no node ever saw the whole matrix, and no coordinator existed."
+    );
+}

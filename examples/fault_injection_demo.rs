@@ -1,0 +1,70 @@
+//! Side-by-side fault drill: push-sum vs push-flow vs push-cancel-flow.
+//!
+//! Re-enacts the paper's core comparison as a narrated run: the same
+//! 64-node averaging job is hit with (a) 10% message loss and (b) a
+//! permanent link failure at round 100, once for each algorithm, with the
+//! *same* communication schedule (same seed). Watch push-sum converge to
+//! the wrong answer, push-flow survive but restart, and push-cancel-flow
+//! shrug both failures off.
+//!
+//! Run with: `cargo run --release --example fault_injection_demo`
+
+use gossip_reduce::netsim::{FaultPlan, Simulator};
+use gossip_reduce::numerics::max_relative_error;
+use gossip_reduce::reduction::{
+    AggregateKind, InitialData, PushCancelFlow, PushFlow, PushSum, ReductionProtocol,
+};
+use gossip_reduce::topology::hypercube;
+
+const CHECKPOINTS: [u64; 7] = [25, 50, 99, 105, 150, 400, 1500];
+
+fn trajectory<P: ReductionProtocol>(
+    graph: &gossip_reduce::topology::Graph,
+    proto: P,
+    plan: FaultPlan,
+    reference: gossip_reduce::numerics::Dd,
+) -> Vec<f64> {
+    let mut sim = Simulator::new(graph, proto, plan, 11);
+    CHECKPOINTS
+        .iter()
+        .map(|&cp| {
+            while sim.round() < cp {
+                sim.step();
+            }
+            max_relative_error(sim.protocol().scalar_estimates(), reference)
+        })
+        .collect()
+}
+
+fn main() {
+    let graph = hypercube(6);
+    let data = InitialData::uniform_random(64, AggregateKind::Average, 5);
+    let reference = data.reference()[0];
+
+    // 10% of messages vanish, and link (0,1) dies for good at round 100.
+    let plan = FaultPlan::with_loss(0.10).fail_link(0, 1, 100);
+
+    let ps = trajectory(&graph, PushSum::new(&graph, &data), plan.clone(), reference);
+    let pf = trajectory(&graph, PushFlow::new(&graph, &data), plan.clone(), reference);
+    let pcf = trajectory(&graph, PushCancelFlow::new(&graph, &data), plan, reference);
+
+    println!("max local relative error vs true average (10% loss + link death at round 100)\n");
+    println!("{:>7} {:>12} {:>12} {:>12}", "round", "push-sum", "push-flow", "PCF");
+    for (i, &cp) in CHECKPOINTS.iter().enumerate() {
+        println!(
+            "{cp:>7} {:>12.2e} {:>12.2e} {:>12.2e}{}",
+            ps[i],
+            pf[i],
+            pcf[i],
+            if cp == 105 { "   <- link failure handled at 100" } else { "" }
+        );
+    }
+
+    println!("\nreadings:");
+    println!(" * push-sum: every lost message permanently deletes mass — it converges, but to the wrong value");
+    println!(" * push-flow: self-heals loss and survives the dead link, but the handling threw it back near the start");
+    println!(" * push-cancel-flow: same failures, no fall-back, machine precision");
+
+    assert!(ps.last().unwrap() > &1e-6, "push-sum should be biased");
+    assert!(pcf.last().unwrap() < &1e-12, "PCF should be at machine precision");
+}

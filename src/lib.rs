@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the public API of the `gossip-reduce` workspace.
+pub use gr_dmgs as dmgs;
+pub use gr_linalg as linalg;
+pub use gr_netsim as netsim;
+pub use gr_numerics as numerics;
+pub use gr_reduction as reduction;
+pub use gr_spectral as spectral;
+pub use gr_topology as topology;

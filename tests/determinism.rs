@@ -1,0 +1,89 @@
+//! Reproducibility guarantees: everything is a pure function of its seed.
+//!
+//! The experiment methodology (same-seed PF/PCF comparisons, regenerable
+//! EXPERIMENTS.md numbers) rests on bit-level determinism of the whole
+//! stack; these tests pin it.
+
+use gossip_reduce::dmgs::{dmgs, DmgsConfig};
+use gossip_reduce::linalg::Matrix;
+use gossip_reduce::netsim::FaultPlan;
+use gossip_reduce::reduction::{
+    run_reduction, Algorithm, AggregateKind, InitialData, PhiMode, RunConfig,
+};
+use gossip_reduce::topology::hypercube;
+
+#[test]
+fn identical_seeds_identical_series() {
+    let g = hypercube(5);
+    let data = InitialData::uniform_random(32, AggregateKind::Average, 5);
+    let run = |seed| {
+        run_reduction(
+            Algorithm::PushCancelFlow(PhiMode::Eager),
+            &g,
+            &data,
+            FaultPlan::with_loss(0.1),
+            seed,
+            RunConfig::fixed(150, 5),
+        )
+    };
+    let a = run(77);
+    let b = run(77);
+    let c = run(78);
+    assert_eq!(a.series.len(), b.series.len());
+    for (x, y) in a.series.iter().zip(&b.series) {
+        assert_eq!(x.max.to_bits(), y.max.to_bits(), "round {}", x.round);
+        assert_eq!(x.median.to_bits(), y.median.to_bits());
+    }
+    // different seed ⇒ different trajectory
+    assert!(a
+        .series
+        .iter()
+        .zip(&c.series)
+        .any(|(x, y)| x.max.to_bits() != y.max.to_bits()));
+}
+
+#[test]
+fn same_schedule_across_algorithms_with_faults() {
+    // Message counts (schedule-determined) must be identical across
+    // algorithms for the same seed and plan — that's the Fig. 4/7
+    // methodology.
+    let g = hypercube(6);
+    let data = InitialData::uniform_random(64, AggregateKind::Average, 6);
+    let plan = FaultPlan::none().fail_link(3, 2, 40);
+    let cfg = RunConfig::fixed(100, 0);
+    let pf = run_reduction(Algorithm::PushFlow, &g, &data, plan.clone(), 9, cfg);
+    let pcf = run_reduction(Algorithm::PushCancelFlow(PhiMode::Eager), &g, &data, plan, 9, cfg);
+    assert_eq!(pf.sim.sent, pcf.sim.sent);
+    assert_eq!(pf.sim.delivered, pcf.sim.delivered);
+    assert_eq!(pf.sim.lost_dead, pcf.sim.lost_dead);
+}
+
+#[test]
+fn dmgs_is_bit_reproducible() {
+    let g = hypercube(4);
+    let v = Matrix::random_uniform(16, 5, 3);
+    let cfg = DmgsConfig::paper(Algorithm::PushCancelFlow(PhiMode::Eager), 31);
+    let a = dmgs(&v, &g, &cfg);
+    let b = dmgs(&v, &g, &cfg);
+    assert_eq!(
+        a.factorization_error.to_bits(),
+        b.factorization_error.to_bits()
+    );
+    assert_eq!(a.q.as_slice().len(), b.q.as_slice().len());
+    for (x, y) in a.q.as_slice().iter().zip(b.q.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert_eq!(a.total_rounds, b.total_rounds);
+}
+
+#[test]
+fn workload_generation_is_seeded() {
+    let a = InitialData::uniform_random(64, AggregateKind::Sum, 1);
+    let b = InitialData::uniform_random(64, AggregateKind::Sum, 1);
+    for i in 0..64 {
+        assert_eq!(a.value(i).to_bits(), b.value(i).to_bits());
+    }
+    let m1 = Matrix::random_uniform(8, 8, 2);
+    let m2 = Matrix::random_uniform(8, 8, 2);
+    assert_eq!(m1, m2);
+}

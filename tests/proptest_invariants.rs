@@ -1,0 +1,246 @@
+//! Property-based tests of the core invariants, across crates.
+//!
+//! These pin down the *algebraic* properties the paper's correctness
+//! argument rests on: flow conservation implies mass conservation, PF and
+//! PCF are equivalent on identical schedules, failure handling preserves
+//! per-node estimates (PCF) or reverts transported mass (PF), and the
+//! numerics substrate is exact where it claims to be.
+
+use gossip_reduce::netsim::Protocol;
+use gossip_reduce::numerics::{dd::dd_sum, Dd};
+use gossip_reduce::reduction::{
+    AggregateKind, InitialData, Mass, Payload, PhiMode, PushCancelFlow, PushFlow,
+    ReductionProtocol,
+};
+use gossip_reduce::topology::{hypercube, random_regular, ring, Graph, NodeId};
+use proptest::prelude::*;
+
+/// A random sequential exchange schedule over a graph: pairs of
+/// (node index selector, neighbor slot selector).
+fn schedule_strategy(len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..10_000, 0u32..10_000), len)
+}
+
+/// Resolve an abstract (node, slot) pick into a concrete edge.
+fn resolve(g: &Graph, pick: (u32, u32)) -> (NodeId, NodeId) {
+    let i = (pick.0 as usize % g.len()) as NodeId;
+    let nbrs = g.neighbors(i);
+    let k = nbrs[pick.1 as usize % nbrs.len()];
+    (i, k)
+}
+
+fn total_estimate<P: ReductionProtocol>(p: &P, n: usize) -> (f64, f64) {
+    let mut vals = [0.0];
+    let mut v = 0.0;
+    let mut w = 0.0;
+    for i in 0..n as NodeId {
+        w += p.write_mass(i, &mut vals);
+        v += vals[0];
+    }
+    (v, w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mass conservation of PF under *arbitrary* sequential schedules.
+    #[test]
+    fn pf_mass_conserved_any_schedule(
+        schedule in schedule_strategy(200),
+        values in proptest::collection::vec(-100.0f64..100.0, 8),
+    ) {
+        let g = hypercube(3);
+        let data = InitialData::with_kind(values, AggregateKind::Average);
+        let v0: f64 = (0..8).map(|i| *data.value(i)).sum();
+        let mut pf = PushFlow::new(&g, &data);
+        for pick in schedule {
+            let (i, k) = resolve(&g, pick);
+            let msg = pf.on_send(i, k);
+            pf.on_receive(k, i, msg);
+            let (v, w) = total_estimate(&pf, 8);
+            prop_assert!((w - 8.0).abs() < 1e-8, "weight {w}");
+            prop_assert!((v - v0).abs() < 1e-6 * v0.abs().max(1.0), "value {v} vs {v0}");
+        }
+    }
+
+    /// Mass conservation of PCF (both ϕ modes) under arbitrary sequential
+    /// schedules, including its cancellation/role-swap machinery.
+    #[test]
+    fn pcf_mass_conserved_any_schedule(
+        schedule in schedule_strategy(200),
+        values in proptest::collection::vec(-100.0f64..100.0, 8),
+        hardened in proptest::bool::ANY,
+    ) {
+        let g = hypercube(3);
+        let data = InitialData::with_kind(values, AggregateKind::Average);
+        let v0: f64 = (0..8).map(|i| *data.value(i)).sum();
+        let mode = if hardened { PhiMode::Hardened } else { PhiMode::Eager };
+        let mut pcf = PushCancelFlow::with_mode(&g, &data, mode);
+        for pick in schedule {
+            let (i, k) = resolve(&g, pick);
+            let msg = pcf.on_send(i, k);
+            pcf.on_receive(k, i, msg);
+            let (v, w) = total_estimate(&pcf, 8);
+            prop_assert!((w - 8.0).abs() < 1e-8, "weight {w}");
+            prop_assert!((v - v0).abs() < 1e-6 * v0.abs().max(1.0), "value {v} vs {v0}");
+        }
+    }
+
+    /// PF ≡ PCF: identical estimates (up to roundoff) for the same
+    /// schedule and data — the paper's equivalence claim (Sec. III-B).
+    #[test]
+    fn pf_pcf_equivalent_same_schedule(
+        schedule in schedule_strategy(150),
+        values in proptest::collection::vec(0.1f64..10.0, 16),
+    ) {
+        let g = hypercube(4);
+        let data = InitialData::with_kind(values, AggregateKind::Average);
+        let mut pf = PushFlow::new(&g, &data);
+        let mut pcf = PushCancelFlow::new(&g, &data);
+        for pick in &schedule {
+            let (i, k) = resolve(&g, *pick);
+            let m1 = pf.on_send(i, k);
+            pf.on_receive(k, i, m1);
+            let m2 = pcf.on_send(i, k);
+            pcf.on_receive(k, i, m2);
+        }
+        for i in 0..16 {
+            let a = pf.scalar_estimate(i);
+            let b = pcf.scalar_estimate(i);
+            prop_assert!(
+                (a - b).abs() <= 1e-8 * a.abs().max(1.0),
+                "node {i}: PF {a} vs PCF {b}"
+            );
+        }
+    }
+
+    /// PCF swap-counter skew never exceeds 1 under arbitrary sequential
+    /// schedules (the protocol's coordination invariant).
+    #[test]
+    fn pcf_swap_skew_bounded(schedule in schedule_strategy(300)) {
+        let g = ring(6);
+        let data = InitialData::uniform_random(6, AggregateKind::Average, 1);
+        let mut pcf = PushCancelFlow::new(&g, &data);
+        for pick in schedule {
+            let (i, k) = resolve(&g, pick);
+            let msg = pcf.on_send(i, k);
+            pcf.on_receive(k, i, msg);
+            for (a, b) in g.edges() {
+                let ra = pcf.swap_round(a, b);
+                let rb = pcf.swap_round(b, a);
+                prop_assert!(ra.abs_diff(rb) <= 1, "edge ({a},{b}): {ra} vs {rb}");
+            }
+        }
+    }
+
+    /// PCF link-failure handling leaves every local estimate untouched
+    /// (the zero-fall-back property of Fig. 7), at any point of any
+    /// schedule, in both ϕ modes.
+    #[test]
+    fn pcf_failure_handling_preserves_estimates(
+        schedule in schedule_strategy(120),
+        edge_sel in (0u32..10_000, 0u32..10_000),
+        hardened in proptest::bool::ANY,
+    ) {
+        let g = hypercube(3);
+        let data = InitialData::uniform_random(8, AggregateKind::Average, 3);
+        let mode = if hardened { PhiMode::Hardened } else { PhiMode::Eager };
+        let mut pcf = PushCancelFlow::with_mode(&g, &data, mode);
+        for pick in schedule {
+            let (i, k) = resolve(&g, pick);
+            let msg = pcf.on_send(i, k);
+            pcf.on_receive(k, i, msg);
+        }
+        let (a, b) = resolve(&g, edge_sel);
+        let before: Vec<f64> = pcf.scalar_estimates();
+        pcf.on_link_failed(a, b);
+        pcf.on_link_failed(b, a);
+        let after: Vec<f64> = pcf.scalar_estimates();
+        for i in 0..8 {
+            prop_assert!(
+                (before[i] - after[i]).abs() <= 1e-12 * before[i].abs().max(1.0),
+                "node {i} estimate moved: {} -> {}",
+                before[i],
+                after[i]
+            );
+        }
+    }
+
+    /// PF link-failure handling *changes* the endpoint estimates by
+    /// exactly the zeroed flows (the restart mechanism of Fig. 4).
+    #[test]
+    fn pf_failure_handling_reverts_flows(
+        schedule in schedule_strategy(120),
+        edge_sel in (0u32..10_000, 0u32..10_000),
+    ) {
+        let g = hypercube(3);
+        let data = InitialData::uniform_random(8, AggregateKind::Average, 4);
+        let mut pf = PushFlow::new(&g, &data);
+        for pick in schedule {
+            let (i, k) = resolve(&g, pick);
+            let msg = pf.on_send(i, k);
+            pf.on_receive(k, i, msg);
+        }
+        let (a, b) = resolve(&g, edge_sel);
+        let flow_ab = pf.flow(a, b).clone();
+        let before = pf.estimate_mass(a);
+        pf.on_link_failed(a, b);
+        let after = pf.estimate_mass(a);
+        // e_a gains exactly the zeroed flow (e = v − Σf).
+        let expect = before.value + flow_ab.value;
+        prop_assert!((after.value - expect).abs() < 1e-9 * expect.abs().max(1.0));
+    }
+
+    /// Double-double sums of random data match a 256-bit-style exact model
+    /// (computed via sorting + compensated reference) to ~1e-28 relative.
+    #[test]
+    fn dd_sum_accuracy(values in proptest::collection::vec(-1e12f64..1e12, 1..200)) {
+        let dd = dd_sum(&values);
+        // reference: Neumaier over sorted-by-magnitude inputs in Dd
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap());
+        let mut acc = Dd::ZERO;
+        for v in sorted {
+            acc += v;
+        }
+        let diff = (dd - acc).abs().to_f64();
+        let scale = acc.abs().to_f64().max(1.0);
+        prop_assert!(diff <= 1e-25 * scale, "diff {diff}");
+    }
+
+    /// Mass payload algebra: negation is an involution and add/sub are
+    /// inverse, for vector payloads of any dimension.
+    #[test]
+    fn mass_algebra(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..8),
+        weight in -100.0f64..100.0,
+    ) {
+        let m = Mass::new(values.clone(), weight);
+        let mut n = m.negated();
+        prop_assert!(m.is_neg_of(&n) || m.is_zero());
+        n.negate();
+        prop_assert!(n.value.eq_components(&m.value));
+        let mut s = m.clone();
+        s.add_assign(&m);
+        s.sub_assign(&m);
+        // add-then-sub is exact in IEEE-754 for equal operands
+        prop_assert!(s.value.eq_components(&m.value));
+        prop_assert_eq!(s.weight, m.weight);
+    }
+
+    /// Topology invariants for random regular graphs: regularity and
+    /// handshake consistency for arbitrary parameters.
+    #[test]
+    fn random_regular_invariants(n in 4usize..40, k in 2usize..5, seed in 0u64..50) {
+        prop_assume!(n * k % 2 == 0 && k < n);
+        let g = random_regular(n, k, seed);
+        prop_assert_eq!(g.len(), n);
+        prop_assert_eq!(g.edge_count() * 2, g.arc_count());
+        for i in 0..n as NodeId {
+            prop_assert_eq!(g.degree(i), k);
+            for &j in g.neighbors(i) {
+                prop_assert!(g.has_edge(j, i), "asymmetric edge ({i},{j})");
+            }
+        }
+    }
+}
