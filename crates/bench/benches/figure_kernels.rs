@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use gr_experiments::figures::{bus_example, failure_trajectory, FailureTrajOpts};
 use gr_linalg::Matrix;
 use gr_netsim::FaultPlan;
-use gr_reduction::{run_reduction, Algorithm, AggregateKind, InitialData, PhiMode, RunConfig};
+use gr_reduction::{run_reduction, AggregateKind, Algorithm, InitialData, PhiMode, RunConfig};
 use gr_topology::{hypercube, torus3d};
 
 fn fig3_6_accuracy_point(c: &mut Criterion) {

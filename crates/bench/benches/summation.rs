@@ -8,7 +8,9 @@ fn data(n: usize) -> Vec<f64> {
     let mut x = 0x9E3779B97F4A7C15u64;
     (0..n)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 1e6
         })
         .collect()

@@ -1,0 +1,42 @@
+//! Scenario fingerprint hashing.
+//!
+//! A scenario hash is the FNV-1a-64 digest of the scenario's canonical
+//! encoding (see [`crate::Scenario::canonical`]). FNV is not
+//! collision-resistant in the cryptographic sense, but the corpus is a
+//! few hundred scenarios and the hash only needs to be a stable, compact,
+//! greppable handle that survives report → replay round trips.
+
+/// FNV-1a over a byte string, 64-bit.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The 16-hex-digit rendering used in fingerprints and replay commands.
+pub fn hex16(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex16(0), "0000000000000000");
+        assert_eq!(hex16(u64::MAX), "ffffffffffffffff");
+        assert_eq!(hex16(fnv1a64(b"x")).len(), 16);
+    }
+}

@@ -1,0 +1,80 @@
+//! The campaign CLI.
+//!
+//! ```text
+//! gr-campaign --mode sanity                 # hard CI gate (exit 1 on violation)
+//! gr-campaign --mode stress                 # trend lane (always exit 0)
+//! gr-campaign --mode stress --seeds 5       # widen the seed corpus to 1..=5
+//! gr-campaign --mode stress --replay <fp>   # re-run one fingerprint, dump trace tail
+//! gr-campaign --mode sanity --list          # print the corpus without running it
+//! gr-campaign --mode sanity --json out.json # also write the machine-readable report
+//! ```
+
+use gr_campaign::{
+    find_scenario, render_replay, run_campaign, sanity_corpus, stress_corpus, Lane,
+    DEFAULT_SANITY_SEEDS, DEFAULT_STRESS_SEEDS,
+};
+use gr_experiments::parallel::default_threads;
+use gr_experiments::Opts;
+
+fn main() {
+    let opts = Opts::from_env();
+    let mode = opts.string("mode", "sanity");
+    let lane = match mode.as_str() {
+        "sanity" => Lane::Sanity,
+        "stress" => Lane::Stress,
+        other => panic!("--mode must be sanity or stress, got {other:?}"),
+    };
+    // --seeds N widens the corpus to seeds 1..=N; 0 keeps the lane default.
+    let n_seeds = opts.u64("seeds", 0);
+    let seeds: Vec<u64> = if n_seeds > 0 {
+        (1..=n_seeds).collect()
+    } else {
+        match lane {
+            Lane::Sanity => DEFAULT_SANITY_SEEDS.to_vec(),
+            Lane::Stress => DEFAULT_STRESS_SEEDS.to_vec(),
+        }
+    };
+    let corpus = match lane {
+        Lane::Sanity => sanity_corpus(&seeds),
+        Lane::Stress => stress_corpus(&seeds),
+    };
+
+    let replay = opts.string("replay", "");
+    let tail = opts.u64("tail", 64) as usize;
+    let list = opts.bool("list", false);
+    let threads = opts.u64("threads", default_threads() as u64) as usize;
+    let json_path = opts.string("json", "");
+    opts.finish();
+
+    if list {
+        for sc in &corpus {
+            println!("{}  {}", sc.hash(), sc.canonical());
+        }
+        return;
+    }
+
+    if !replay.is_empty() {
+        let sc = find_scenario(&corpus, &replay).unwrap_or_else(|| {
+            panic!(
+                "fingerprint {replay:?} not found in the {} corpus ({} scenarios); \
+                 pass the same --mode/--seeds the report was generated with",
+                lane.label(),
+                corpus.len()
+            )
+        });
+        print!("{}", render_replay(sc, tail));
+        return;
+    }
+
+    let report = run_campaign(lane, &corpus, threads.max(1));
+    print!("{}", report.render());
+    if !json_path.is_empty() {
+        let j = serde_json::to_string_pretty(&report.to_json()).unwrap();
+        std::fs::write(&json_path, j).unwrap_or_else(|e| panic!("writing {json_path:?}: {e}"));
+    }
+    // The sanity lane is a hard gate; stress violations are findings, not
+    // build failures.
+    if lane == Lane::Sanity && !report.passed() {
+        std::process::exit(1);
+    }
+}

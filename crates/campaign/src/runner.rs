@@ -1,0 +1,247 @@
+//! Scenario execution: build the simulation, drive it checkpoint by
+//! checkpoint, and let the oracle watch.
+//!
+//! Every scenario runs under **asynchronous activation** (atomic
+//! exchanges — see the module docs on [`crate::scenario`] for why that is
+//! load-bearing for the oracle's tolerances). The oracle is consulted
+//! every [`CHECK_EVERY`] rounds; the first violation ends the run, so the
+//! fingerprinted `(invariant, round, node)` triple always names the
+//! *earliest* detected failure.
+
+use crate::oracle::{Oracle, Violation};
+use crate::scenario::Scenario;
+use gr_netsim::{Activation, Protocol, SimOptions, SimStats, Simulator, Trace};
+use gr_numerics::{relative_error, Dd};
+use gr_reduction::{
+    mass_reference, AggregateKind, Algorithm, FlowUpdating, InitialData, PushCancelFlow, PushFlow,
+    PushSum, ReductionProtocol,
+};
+use gr_topology::{Graph, NodeId};
+
+/// Oracle checkpoint cadence, in rounds.
+pub const CHECK_EVERY: u64 = 16;
+
+/// Everything the report (and the replay comparison) needs from one run.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// The scenario fingerprint hash.
+    pub hash: String,
+    /// Scenario template label.
+    pub template: String,
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Topology label.
+    pub topology: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Rounds actually executed.
+    pub rounds: u64,
+    /// Max relative error over alive nodes at the last checkpoint.
+    pub final_err: f64,
+    /// Transport counters.
+    pub stats: SimStats,
+    /// First invariant violation, if any.
+    pub violation: Option<Violation>,
+}
+
+/// Run one scenario (no tracing).
+pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
+    run_scenario_traced(sc, None).0
+}
+
+/// Run one scenario, optionally recording the netsim event trace (ring
+/// buffer of `capacity` events) for replay reporting.
+pub fn run_scenario_traced(
+    sc: &Scenario,
+    trace_capacity: Option<usize>,
+) -> (ScenarioResult, Option<Trace>) {
+    let graph = sc.topology.build();
+    let data = InitialData::uniform_random(graph.len(), AggregateKind::Average, sc.seed);
+    match sc.algorithm {
+        Algorithm::PushSum => drive(
+            sc,
+            &graph,
+            &data,
+            PushSum::new(&graph, &data),
+            trace_capacity,
+        ),
+        Algorithm::PushFlow => drive(
+            sc,
+            &graph,
+            &data,
+            PushFlow::new(&graph, &data),
+            trace_capacity,
+        ),
+        Algorithm::PushCancelFlow(mode) => drive(
+            sc,
+            &graph,
+            &data,
+            PushCancelFlow::with_mode(&graph, &data, mode),
+            trace_capacity,
+        ),
+        Algorithm::FlowUpdating => drive(
+            sc,
+            &graph,
+            &data,
+            FlowUpdating::new(&graph, &data),
+            trace_capacity,
+        ),
+    }
+}
+
+fn drive<Pr: ReductionProtocol>(
+    sc: &Scenario,
+    graph: &Graph,
+    data: &InitialData<f64>,
+    protocol: Pr,
+    trace_capacity: Option<usize>,
+) -> (ScenarioResult, Option<Trace>) {
+    let options = SimOptions {
+        activation: Activation::Asynchronous,
+        ..SimOptions::default()
+    };
+    let mut sim = Simulator::with_options(graph, protocol, sc.fault_plan(), sc.seed, options);
+    if let Some(cap) = trace_capacity {
+        sim.enable_trace(cap);
+    }
+
+    let mut oracle = Oracle::new(sc, data);
+    let mut refs = data.reference();
+    let mut alive_count = graph.len();
+    let mut crashed = false;
+
+    loop {
+        sim.step();
+        let round = sim.round();
+        let done = round >= sc.max_rounds;
+        if round % CHECK_EVERY != 0 && !done {
+            continue;
+        }
+
+        let alive: Vec<NodeId> = sim.alive_nodes().collect();
+        if alive.len() != alive_count {
+            alive_count = alive.len();
+            crashed = true;
+        }
+        if crashed {
+            // Same policy as the experiment runner: after a crash the
+            // survivors' achievable aggregate is the ratio of their
+            // remaining mass, recomputed at every sample because any
+            // single snapshot is distorted by in-flight error.
+            refs = mass_reference(sim.protocol(), alive.iter().copied())
+                .unwrap_or_else(|| vec![Dd::ZERO; data.dim()]);
+        }
+        let (err, worst_node) = worst_error(sim.protocol(), &refs, &alive);
+        oracle.note_error(round, err);
+
+        let edges = mutual_edges(&sim, &alive);
+        let mut violation = oracle.check_step(sim.protocol(), &alive, &edges, round);
+        let converged = sc.target_accuracy > 0.0 && err <= sc.target_accuracy;
+        if violation.is_none() && (converged || done) {
+            violation = oracle.check_end(sc, round, err, worst_node);
+        }
+        if violation.is_some() || converged || done {
+            let result = ScenarioResult {
+                hash: sc.hash(),
+                template: sc.template.clone(),
+                algorithm: sc.algorithm.label(),
+                topology: sc.topology.label(),
+                seed: sc.seed,
+                rounds: round,
+                final_err: err,
+                stats: sim.stats(),
+                violation,
+            };
+            let trace = sim.trace().cloned();
+            return (result, trace);
+        }
+    }
+}
+
+/// Max relative error over the alive set, with the worst node attributed
+/// (ties break to the lowest node id; an all-zero-error run attributes to
+/// the first alive node).
+fn worst_error<Pr: ReductionProtocol + ?Sized>(
+    proto: &Pr,
+    refs: &[Dd],
+    alive: &[NodeId],
+) -> (f64, NodeId) {
+    let mut buf = vec![0.0; proto.dim()];
+    let mut worst = 0.0f64;
+    let mut worst_node = alive.first().copied().unwrap_or(0);
+    for &i in alive {
+        proto.write_estimate(i, &mut buf);
+        let mut node_err = 0.0f64;
+        for (k, &r) in refs.iter().enumerate() {
+            // `relative_error` maps a destroyed (non-finite) estimate to
+            // +∞, so NaN never slips through a max fold here.
+            node_err = node_err.max(relative_error(buf[k], r));
+        }
+        if node_err > worst {
+            worst = node_err;
+            worst_node = i;
+        }
+    }
+    (worst, worst_node)
+}
+
+/// Edges `(i, j)`, `i < j`, whose endpoints are both alive and mutually
+/// believe each other alive — the set over which flow antisymmetry is a
+/// meaningful claim (after a detected failure both endpoints have reset
+/// their flow state for the edge).
+fn mutual_edges<Pr: Protocol>(sim: &Simulator<'_, Pr>, alive: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+    let mut edges = Vec::new();
+    for &i in alive {
+        for &j in sim.believed_alive(i) {
+            if j > i && alive.binary_search(&j).is_ok() && sim.believed_alive(j).contains(&i) {
+                edges.push((i, j));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{sanity_corpus, stress_corpus, Lane};
+
+    #[test]
+    fn sanity_scenario_converges_cleanly() {
+        // One representative per algorithm on the fastest-mixing topology.
+        let corpus = sanity_corpus(&[1]);
+        for sc in corpus.iter().filter(|s| s.template == "complete16") {
+            let r = run_scenario(sc);
+            assert!(
+                r.violation.is_none(),
+                "{}: {:?}",
+                sc.canonical(),
+                r.violation
+            );
+            assert!(r.final_err <= sc.target_accuracy);
+            assert!(r.rounds < sc.max_rounds);
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let sc = &stress_corpus(&[2])[0];
+        let a = run_scenario(sc);
+        let b = run_scenario(sc);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.final_err.to_bits(), b.final_err.to_bits());
+        assert_eq!(a.violation, b.violation);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_outcome() {
+        let sc = &sanity_corpus(&[3])[0];
+        let plain = run_scenario(sc);
+        let (traced, trace) = run_scenario_traced(sc, Some(512));
+        assert_eq!(plain.rounds, traced.rounds);
+        assert_eq!(plain.final_err.to_bits(), traced.final_err.to_bits());
+        assert!(trace.is_some());
+        assert_eq!(sc.lane, Lane::Sanity);
+    }
+}

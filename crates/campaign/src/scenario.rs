@@ -1,0 +1,401 @@
+//! The campaign's scenario space: what gets run, and how it is named.
+//!
+//! A [`Scenario`] is a fully concrete, self-describing simulation case —
+//! topology, algorithm, seed, round budget, fault plan. Everything random
+//! about a scenario (which links die, which nodes crash, when) is drawn
+//! from a dedicated RNG stream keyed on the scenario's identity, so the
+//! corpus is a pure function of the seed list: the same seeds always
+//! produce byte-identical scenarios, which is what makes hashes stable
+//! across report → replay round trips.
+//!
+//! All scenarios run under **asynchronous activation** (atomic exchanges,
+//! see `gr_netsim::Activation`). That choice is load-bearing for the
+//! oracle: with atomic exchanges a fault-free execution keeps pairwise
+//! flow antisymmetry and global mass conservation *exact* (up to f64
+//! rounding), so the sanity lane can use tight tolerances. Synchronous
+//! rounds allow crossing exchanges, which legitimately break both
+//! properties mid-flight and would force vacuous bounds.
+
+use crate::hash::{fnv1a64, hex16};
+use gr_netsim::{stream_rng, FaultPlan, RngStream};
+use gr_reduction::{Algorithm, PhiMode};
+use gr_topology::{complete, hypercube, ring, torus2d, Graph, NodeId};
+use rand::RngExt;
+
+/// Which campaign lane a scenario belongs to (resilience-plan style).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lane {
+    /// Fault-free, fixed seed corpus, tight tolerances — a hard CI gate.
+    Sanity,
+    /// Loss + bit flips + link/node failures; trend-tracked, not gated.
+    Stress,
+}
+
+impl Lane {
+    /// Stable lower-case label (report, CLI, canonical encoding).
+    pub fn label(self) -> &'static str {
+        match self {
+            Lane::Sanity => "sanity",
+            Lane::Stress => "stress",
+        }
+    }
+}
+
+/// Topology constructor choice, small enough to encode in a fingerprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// `ring(n)`.
+    Ring(usize),
+    /// `complete(n)`.
+    Complete(usize),
+    /// `hypercube(d)` — the paper's failure-experiment family.
+    Hypercube(u32),
+    /// `torus2d(rows, cols)`.
+    Torus2d(usize, usize),
+}
+
+impl TopologyKind {
+    /// Build the graph.
+    pub fn build(self) -> Graph {
+        match self {
+            TopologyKind::Ring(n) => ring(n),
+            TopologyKind::Complete(n) => complete(n),
+            TopologyKind::Hypercube(d) => hypercube(d),
+            TopologyKind::Torus2d(r, c) => torus2d(r, c),
+        }
+    }
+
+    /// Node count without building.
+    pub fn nodes(self) -> usize {
+        match self {
+            TopologyKind::Ring(n) | TopologyKind::Complete(n) => n,
+            TopologyKind::Hypercube(d) => 1usize << d,
+            TopologyKind::Torus2d(r, c) => r * c,
+        }
+    }
+
+    /// Stable label (report, canonical encoding).
+    pub fn label(self) -> String {
+        match self {
+            TopologyKind::Ring(n) => format!("ring{n}"),
+            TopologyKind::Complete(n) => format!("complete{n}"),
+            TopologyKind::Hypercube(d) => format!("hypercube{d}"),
+            TopologyKind::Torus2d(r, c) => format!("torus{r}x{c}"),
+        }
+    }
+}
+
+/// Scheduled link failures `(a, b, round)`.
+pub type LinkFailures = Vec<(NodeId, NodeId, u64)>;
+/// Scheduled node crashes `(node, round)`.
+pub type Crashes = Vec<(NodeId, u64)>;
+
+/// One fully concrete campaign case.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Lane (decides oracle tolerances and gating).
+    pub lane: Lane,
+    /// Template name, e.g. `flips/hypercube5` (sanity templates are just
+    /// the topology label).
+    pub template: String,
+    /// Topology to build.
+    pub topology: TopologyKind,
+    /// Algorithm under test.
+    pub algorithm: Algorithm,
+    /// Master seed: workload, schedule, fault coins, fault placement.
+    pub seed: u64,
+    /// Hard round cap.
+    pub max_rounds: u64,
+    /// Early-exit accuracy (and the sanity convergence threshold);
+    /// `0.0` disables early exit (stress runs its full fault window).
+    pub target_accuracy: f64,
+    /// Per-message loss probability.
+    pub loss: f64,
+    /// Per-message bit-flip probability.
+    pub bit_flips: f64,
+    /// Scheduled link failures `(a, b, round)`, immediately detected.
+    pub link_failures: LinkFailures,
+    /// Scheduled node crashes `(node, round)`, immediately detected.
+    pub crashes: Crashes,
+}
+
+impl Scenario {
+    /// The netsim fault plan for this scenario.
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan {
+            msg_loss_prob: self.loss,
+            bit_flip_prob: self.bit_flips,
+            ..FaultPlan::default()
+        };
+        for &(a, b, round) in &self.link_failures {
+            plan = plan.fail_link(a, b, round);
+        }
+        for &(node, round) in &self.crashes {
+            plan = plan.crash_node(node, round);
+        }
+        plan
+    }
+
+    /// Canonical one-line encoding — the hash pre-image. Versioned so a
+    /// future format change invalidates old fingerprints loudly instead
+    /// of silently replaying the wrong case.
+    pub fn canonical(&self) -> String {
+        format!(
+            "v1|{}|{}|{}|{}|seed={}|rounds={}|acc={:e}|loss={:e}|flips={:e}|links={:?}|crashes={:?}",
+            self.lane.label(),
+            self.template,
+            self.topology.label(),
+            self.algorithm.label(),
+            self.seed,
+            self.max_rounds,
+            self.target_accuracy,
+            self.loss,
+            self.bit_flips,
+            self.link_failures,
+            self.crashes,
+        )
+    }
+
+    /// The 16-hex-digit scenario fingerprint hash.
+    pub fn hash(&self) -> String {
+        hex16(fnv1a64(self.canonical().as_bytes()))
+    }
+
+    /// Round of the last *scheduled* fault (0 if none): the oracle's
+    /// non-divergence window starts here.
+    pub fn last_fault_round(&self) -> u64 {
+        let links = self.link_failures.iter().map(|&(_, _, r)| r);
+        let crashes = self.crashes.iter().map(|&(_, r)| r);
+        links.chain(crashes).max().unwrap_or(0)
+    }
+
+    /// `true` if the plan contains scheduled (permanent) faults.
+    pub fn has_scheduled_faults(&self) -> bool {
+        !self.link_failures.is_empty() || !self.crashes.is_empty()
+    }
+}
+
+/// Default sanity seed corpus — fixed, so CI runs are comparable.
+pub const DEFAULT_SANITY_SEEDS: [u64; 4] = [1, 2, 3, 4];
+/// Default stress seed corpus.
+pub const DEFAULT_STRESS_SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Sanity round budget: generous enough that every algorithm in the
+/// corpus converges to [`SANITY_ACCURACY`] well before the cap (the slow
+/// case is the ring, whose async mixing takes a few thousand rounds).
+const SANITY_ROUNDS: u64 = 6000;
+/// Sanity convergence target / early-exit accuracy.
+const SANITY_ACCURACY: f64 = 1e-9;
+/// Stress runs execute exactly this many rounds (no early exit: the
+/// post-fault window is the point).
+const STRESS_ROUNDS: u64 = 900;
+/// Scheduled faults land in `[FAULT_FROM, FAULT_UNTIL)`.
+const FAULT_FROM: u64 = 120;
+const FAULT_UNTIL: u64 = 240;
+
+/// The fault-free lane: every algorithm × a topology spread × the seed
+/// corpus, run to convergence under exact-conservation tolerances.
+pub fn sanity_corpus(seeds: &[u64]) -> Vec<Scenario> {
+    let topologies = [
+        TopologyKind::Complete(16),
+        TopologyKind::Hypercube(5),
+        TopologyKind::Ring(16),
+        TopologyKind::Torus2d(4, 4),
+    ];
+    let mut corpus = Vec::new();
+    for topology in topologies {
+        for algorithm in Algorithm::all() {
+            for &seed in seeds {
+                corpus.push(Scenario {
+                    lane: Lane::Sanity,
+                    template: topology.label(),
+                    topology,
+                    algorithm,
+                    seed,
+                    max_rounds: SANITY_ROUNDS,
+                    target_accuracy: SANITY_ACCURACY,
+                    loss: 0.0,
+                    bit_flips: 0.0,
+                    link_failures: Vec::new(),
+                    crashes: Vec::new(),
+                });
+            }
+        }
+    }
+    corpus
+}
+
+/// The adversarial lane: loss, bit flips, link failures and crashes over
+/// the fault-tolerant algorithms (push-sum is excluded — it is the
+/// paper's negative control and fails these by design).
+pub fn stress_corpus(seeds: &[u64]) -> Vec<Scenario> {
+    // (template kind, loss, flips, scheduled link failures, crashes).
+    // Fault-bearing templates stay on vertex/edge-connectivity ≥ 5
+    // topologies so two scheduled faults can never disconnect the graph
+    // (a partitioned survivor set converges per-component and would
+    // trip the reconvergence invariant spuriously).
+    let kinds: [(&str, f64, f64, usize, usize); 5] = [
+        ("loss", 0.2, 0.0, 0, 0),
+        ("flips", 0.0, 2e-3, 0, 0),
+        ("loss+flips", 0.1, 1e-3, 0, 0),
+        ("linkfail", 0.05, 0.0, 2, 0),
+        ("crash", 0.05, 0.0, 0, 2),
+    ];
+    let topologies = [TopologyKind::Hypercube(5), TopologyKind::Complete(16)];
+    let algorithms = [
+        Algorithm::PushFlow,
+        Algorithm::PushCancelFlow(PhiMode::Eager),
+        Algorithm::PushCancelFlow(PhiMode::Hardened),
+        Algorithm::FlowUpdating,
+    ];
+    let mut corpus = Vec::new();
+    for (kind, loss, flips, n_links, n_crashes) in kinds {
+        for topology in topologies {
+            let template = format!("{kind}/{}", topology.label());
+            for algorithm in algorithms {
+                for &seed in seeds {
+                    let (link_failures, crashes) =
+                        place_faults(topology, &template, algorithm, seed, n_links, n_crashes);
+                    corpus.push(Scenario {
+                        lane: Lane::Stress,
+                        template: template.clone(),
+                        topology,
+                        algorithm,
+                        seed,
+                        max_rounds: STRESS_ROUNDS,
+                        target_accuracy: 0.0,
+                        loss,
+                        bit_flips: flips,
+                        link_failures,
+                        crashes,
+                    });
+                }
+            }
+        }
+    }
+    corpus
+}
+
+/// Draw scheduled fault placements from a scenario-identity-keyed RNG
+/// stream. Placement is independent of the simulation's own streams, so
+/// turning faults on never perturbs the schedule (the netsim stream
+/// separation carried one level up).
+fn place_faults(
+    topology: TopologyKind,
+    template: &str,
+    algorithm: Algorithm,
+    seed: u64,
+    n_links: usize,
+    n_crashes: usize,
+) -> (LinkFailures, Crashes) {
+    let identity = format!("{template}|{}|{seed}", algorithm.label());
+    let mut rng = stream_rng(seed ^ fnv1a64(identity.as_bytes()), RngStream::Aux(0xFA17));
+    let graph = topology.build();
+    let n = graph.len() as NodeId;
+
+    let mut link_failures: LinkFailures = Vec::new();
+    let mut guard = 0;
+    while link_failures.len() < n_links && guard < 1000 {
+        guard += 1;
+        let a = rng.random_range(0..n);
+        let nbrs = graph.neighbors(a);
+        if nbrs.is_empty() {
+            continue;
+        }
+        let b = nbrs[rng.random_range(0..nbrs.len())];
+        let (lo, hi) = (a.min(b), a.max(b));
+        if link_failures.iter().any(|&(x, y, _)| (x, y) == (lo, hi)) {
+            continue;
+        }
+        link_failures.push((lo, hi, rng.random_range(FAULT_FROM..FAULT_UNTIL)));
+    }
+
+    let mut crashes: Vec<(NodeId, u64)> = Vec::new();
+    guard = 0;
+    while crashes.len() < n_crashes && guard < 1000 {
+        guard += 1;
+        let node = rng.random_range(0..n);
+        if crashes.iter().any(|&(c, _)| c == node) {
+            continue;
+        }
+        crashes.push((node, rng.random_range(FAULT_FROM..FAULT_UNTIL)));
+    }
+
+    (link_failures, crashes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = stress_corpus(&[1, 2]);
+        let b = stress_corpus(&[1, 2]);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.canonical(), y.canonical());
+            assert_eq!(x.hash(), y.hash());
+        }
+    }
+
+    #[test]
+    fn hashes_are_unique_within_corpus() {
+        let mut hashes: Vec<String> = sanity_corpus(&DEFAULT_SANITY_SEEDS)
+            .iter()
+            .chain(stress_corpus(&DEFAULT_STRESS_SEEDS).iter())
+            .map(Scenario::hash)
+            .collect();
+        let n = hashes.len();
+        hashes.sort();
+        hashes.dedup();
+        assert_eq!(hashes.len(), n, "fingerprint collision in default corpus");
+    }
+
+    #[test]
+    fn sanity_corpus_is_fault_free() {
+        for sc in sanity_corpus(&[1]) {
+            assert!(sc.fault_plan().is_failure_free(), "{}", sc.canonical());
+            assert_eq!(sc.lane, Lane::Sanity);
+        }
+    }
+
+    #[test]
+    fn stress_templates_carry_their_faults() {
+        let corpus = stress_corpus(&[7]);
+        let crash = corpus
+            .iter()
+            .find(|s| s.template.starts_with("crash/"))
+            .unwrap();
+        assert_eq!(crash.crashes.len(), 2);
+        assert!(crash.has_scheduled_faults());
+        assert!(crash.last_fault_round() >= FAULT_FROM);
+        assert!(crash.last_fault_round() < FAULT_UNTIL);
+        let flips = corpus
+            .iter()
+            .find(|s| s.template.starts_with("flips/"))
+            .unwrap();
+        assert!(flips.bit_flips > 0.0);
+        assert!(!flips.has_scheduled_faults());
+    }
+
+    #[test]
+    fn scheduled_faults_are_valid_edges_and_nodes() {
+        for sc in stress_corpus(&[1, 2, 3]) {
+            let g = sc.topology.build();
+            for &(a, b, _) in &sc.link_failures {
+                assert!(g.neighbors(a).contains(&b), "{}", sc.canonical());
+            }
+            for &(node, _) in &sc.crashes {
+                assert!((node as usize) < g.len());
+            }
+        }
+    }
+
+    #[test]
+    fn topology_labels_and_sizes() {
+        assert_eq!(TopologyKind::Hypercube(5).nodes(), 32);
+        assert_eq!(TopologyKind::Torus2d(4, 4).label(), "torus4x4");
+        assert_eq!(TopologyKind::Ring(16).build().len(), 16);
+    }
+}

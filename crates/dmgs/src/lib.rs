@@ -32,9 +32,7 @@
 use gr_linalg::Matrix;
 use gr_netsim::{FaultPlan, Simulator};
 use gr_numerics::Dd;
-use gr_reduction::{
-    Algorithm, InitialData, PushCancelFlow, PushFlow, PushSum, ReductionProtocol,
-};
+use gr_reduction::{Algorithm, InitialData, PushCancelFlow, PushFlow, PushSum, ReductionProtocol};
 use gr_topology::{Graph, NodeId};
 
 /// Configuration of a dmGS run.
@@ -208,10 +206,7 @@ fn drive<Pr: ReductionProtocol>(
             return (snapshot(&sim), sim.round());
         }
         if sim.round() >= cfg.max_rounds_per_reduction {
-            return (
-                best_snapshot.unwrap_or_else(|| snapshot(&sim)),
-                sim.round(),
-            );
+            return (best_snapshot.unwrap_or_else(|| snapshot(&sim)), sim.round());
         }
     }
 }
@@ -515,13 +510,16 @@ mod tests {
             pcf.factorization_error,
             pf.factorization_error
         );
-        assert!(pcf.factorization_error < 2e-13, "{:e}", pcf.factorization_error);
+        assert!(
+            pcf.factorization_error < 2e-13,
+            "{:e}",
+            pcf.factorization_error
+        );
         // MGS self-consistency holds for both regardless of reduction
         // accuracy.
         assert!(pf.consistency_error < 1e-14, "{:e}", pf.consistency_error);
         assert!(pcf.consistency_error < 1e-14, "{:e}", pcf.consistency_error);
     }
-
 
     #[test]
     fn dmcgs_factors_well_conditioned_input() {
@@ -529,8 +527,16 @@ mod tests {
         let v = Matrix::random_uniform(16, 6, 21);
         let cfg = DmgsConfig::paper(Algorithm::PushCancelFlow(PhiMode::Eager), 21);
         let res = dmcgs(&v, &g, &cfg);
-        assert!(res.factorization_error < 1e-13, "{:e}", res.factorization_error);
-        assert!(res.orthogonality_error < 1e-11, "{:e}", res.orthogonality_error);
+        assert!(
+            res.factorization_error < 1e-13,
+            "{:e}",
+            res.factorization_error
+        );
+        assert!(
+            res.orthogonality_error < 1e-11,
+            "{:e}",
+            res.orthogonality_error
+        );
         assert_eq!(res.reductions, 11);
     }
 
@@ -552,7 +558,11 @@ mod tests {
         );
         // ... while both still reconstruct V (factorization error is not
         // the discriminating metric — orthogonality is).
-        assert!(cgs.factorization_error < 1e-9, "{:e}", cgs.factorization_error);
+        assert!(
+            cgs.factorization_error < 1e-9,
+            "{:e}",
+            cgs.factorization_error
+        );
     }
 
     #[test]
@@ -561,7 +571,11 @@ mod tests {
         let v = Matrix::random_uniform(37, 5, 4); // 37 rows, cyclic ownership
         let cfg = DmgsConfig::paper(Algorithm::PushCancelFlow(PhiMode::Eager), 4);
         let res = dmgs(&v, &g, &cfg);
-        assert!(res.factorization_error < 1e-13, "{:e}", res.factorization_error);
+        assert!(
+            res.factorization_error < 1e-13,
+            "{:e}",
+            res.factorization_error
+        );
     }
 
     #[test]
@@ -590,7 +604,11 @@ mod tests {
         let v = Matrix::random_uniform(8, 4, 6);
         let cfg = DmgsConfig::paper(Algorithm::PushSum, 6);
         let res = dmgs(&v, &g, &cfg);
-        assert!(res.factorization_error < 1e-13, "{:e}", res.factorization_error);
+        assert!(
+            res.factorization_error < 1e-13,
+            "{:e}",
+            res.factorization_error
+        );
     }
 
     #[test]

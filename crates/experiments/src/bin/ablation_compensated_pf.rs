@@ -15,7 +15,10 @@ fn main() {
     let opts = Opts::from_env();
     let max_exp = opts.u64("max-exp", 4) as u32;
     let seed = opts.u64("seed", 42);
-    let threads = opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize;
+    let threads = opts.u64(
+        "threads",
+        gr_experiments::parallel::default_threads() as u64,
+    ) as usize;
     opts.finish();
     compensated_pf_ablation("ablation_compensated_pf", max_exp, seed, threads)
         .emit(&output::results_dir());

@@ -15,7 +15,10 @@ fn main() {
     let opts = Opts::from_env();
     let cube = opts.u64("cube-dim", 6) as u32;
     let seed = opts.u64("seed", 21);
-    let threads = opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize;
+    let threads = opts.u64(
+        "threads",
+        gr_experiments::parallel::default_threads() as u64,
+    ) as usize;
     opts.finish();
     message_loss_ablation("ablation_message_loss", cube, seed, threads)
         .emit(&output::results_dir());

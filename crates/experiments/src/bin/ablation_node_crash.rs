@@ -14,8 +14,10 @@ fn main() {
     let opts = Opts::from_env();
     let cube = opts.u64("cube-dim", 6) as u32;
     let seed = opts.u64("seed", 31);
-    let threads = opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize;
+    let threads = opts.u64(
+        "threads",
+        gr_experiments::parallel::default_threads() as u64,
+    ) as usize;
     opts.finish();
-    node_crash_ablation("ablation_node_crash", cube, seed, threads)
-        .emit(&output::results_dir());
+    node_crash_ablation("ablation_node_crash", cube, seed, threads).emit(&output::results_dir());
 }

@@ -17,8 +17,10 @@ fn main() {
     let opts = Opts::from_env();
     let cube = opts.u64("cube-dim", 5) as u32;
     let seed = opts.u64("seed", 11);
-    let threads = opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize;
+    let threads = opts.u64(
+        "threads",
+        gr_experiments::parallel::default_threads() as u64,
+    ) as usize;
     opts.finish();
-    bit_flip_ablation("ablation_phi_variants", cube, seed, threads)
-        .emit(&output::results_dir());
+    bit_flip_ablation("ablation_phi_variants", cube, seed, threads).emit(&output::results_dir());
 }

@@ -20,7 +20,10 @@ fn main() {
         max_exp: opts.u64("max-exp", if full { 5 } else { 4 }) as u32,
         plateau: opts.u64("plateau", 4000),
         seed: opts.u64("seed", 42),
-        threads: opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize,
+        threads: opts.u64(
+            "threads",
+            gr_experiments::parallel::default_threads() as u64,
+        ) as usize,
         ..Default::default()
     };
     opts.finish();

@@ -22,5 +22,8 @@ fn main() {
     failure_figure("fig7_link_failure_at_75", &o, 75).emit(&dir);
     failure_figure("fig7_link_failure_at_175", &o, 175).emit(&dir);
     let dev = equivalence_check(o.cube_dim, o.rounds.min(100), o.seed);
-    println!("\nfailure-free PF/PCF max estimate deviation over {} rounds: {dev:e}", o.rounds.min(100));
+    println!(
+        "\nfailure-free PF/PCF max estimate deviation over {} rounds: {dev:e}",
+        o.rounds.min(100)
+    );
 }

@@ -22,7 +22,10 @@ fn main() {
         runs: opts.u64("runs", if full { 50 } else { 5 }) as u32,
         max_rounds_per_reduction: opts.u64("cap", 3000),
         seed: opts.u64("seed", 1234),
-        threads: opts.u64("threads", gr_experiments::parallel::default_threads() as u64) as usize,
+        threads: opts.u64(
+            "threads",
+            gr_experiments::parallel::default_threads() as u64,
+        ) as usize,
     };
     opts.finish();
     dmgs_sweep("fig8_dmgs_qr", &o).emit(&output::results_dir());

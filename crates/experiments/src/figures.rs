@@ -8,7 +8,7 @@ use crate::output::{fmt_err, Table};
 use crate::parallel::par_map;
 use gr_netsim::{Activation, DelayModel, FaultPlan, Schedule, SimOptions, Simulator};
 use gr_reduction::{
-    measure_error, run_reduction, run_with_options, Algorithm, AggregateKind, ErrorSample,
+    measure_error, run_reduction, run_with_options, AggregateKind, Algorithm, ErrorSample,
     FlowUpdating, InitialData, PhiMode, PushCancelFlow, PushFlow, PushSum, ReductionProtocol,
     RunConfig,
 };
@@ -116,7 +116,14 @@ pub fn accuracy_sweep(name: &str, algorithm: Algorithm, opts: &AccuracySweepOpts
 
     let mut t = Table::new(
         name,
-        &["topology", "aggregate", "nodes", "best max err", "rounds", "reached 1e-15"],
+        &[
+            "topology",
+            "aggregate",
+            "nodes",
+            "best max err",
+            "rounds",
+            "reached 1e-15",
+        ],
     );
     for row in rows {
         t.push(
@@ -291,8 +298,13 @@ pub fn dmgs_sweep(name: &str, opts: &DmgsSweepOpts) -> Table {
     let results = par_map(jobs, opts.threads, move |job| {
         let n = 1usize << job.exp;
         let graph = hypercube(job.exp);
-        let v = gr_linalg::Matrix::random_uniform(n, o.m, o.seed ^ ((job.run as u64) << 20) ^ job.exp as u64);
-        let mut cfg = DmgsConfig::paper(job.alg, o.seed ^ ((job.run as u64) << 40) ^ job.exp as u64);
+        let v = gr_linalg::Matrix::random_uniform(
+            n,
+            o.m,
+            o.seed ^ ((job.run as u64) << 20) ^ job.exp as u64,
+        );
+        let mut cfg =
+            DmgsConfig::paper(job.alg, o.seed ^ ((job.run as u64) << 40) ^ job.exp as u64);
         cfg.max_rounds_per_reduction = o.max_rounds_per_reduction;
         let r = dmgs(&v, &graph, &cfg);
         (
@@ -306,7 +318,14 @@ pub fn dmgs_sweep(name: &str, opts: &DmgsSweepOpts) -> Table {
 
     let mut t = Table::new(
         name,
-        &["algorithm", "nodes", "mean ‖V−QR‖∞/‖V‖∞", "mean ‖I−QᵀQ‖∞", "mean consistency", "mean rounds"],
+        &[
+            "algorithm",
+            "nodes",
+            "mean ‖V−QR‖∞/‖V‖∞",
+            "mean ‖I−QᵀQ‖∞",
+            "mean consistency",
+            "mean rounds",
+        ],
     );
     for &alg in &algs {
         for exp in opts.min_exp..=opts.max_exp {
@@ -383,7 +402,13 @@ pub fn bus_example(name: &str, n: usize, rounds: u64, seed: u64) -> Table {
 
     let mut t = Table::new(
         name,
-        &["edge (i−1,i)", "PF flow value", "schematic n−i+1", "PCF max |flow|", "PF estimate at i−1"],
+        &[
+            "edge (i−1,i)",
+            "PF flow value",
+            "schematic n−i+1",
+            "PCF max |flow|",
+            "PF estimate at i−1",
+        ],
     );
     for i in 2..=n {
         let (a, b) = ((i - 2) as u32, (i - 1) as u32);
@@ -461,7 +486,13 @@ pub fn message_loss_ablation(name: &str, cube_dim: u32, seed: u64, threads: usiz
     });
     let mut t = Table::new(
         name,
-        &["algorithm", "loss prob", "best max err", "rounds", "reached 1e-14"],
+        &[
+            "algorithm",
+            "loss prob",
+            "best max err",
+            "rounds",
+            "reached 1e-14",
+        ],
     );
     for row in rows {
         t.push(
@@ -537,7 +568,15 @@ pub fn bit_flip_ablation(name: &str, cube_dim: u32, seed: u64, threads: usize) -
         let data = InitialData::uniform_random(n, AggregateKind::Average, seed ^ 0xF11);
         let guard_bound = 1e6; // data is O(1); flows are O(n) at most
         let (mid, fin, flips) = match label.as_str() {
-            "PF" => bit_flip_episode(&graph, PushFlow::new(&graph, &data), &data, p, 300, 1500, seed),
+            "PF" => bit_flip_episode(
+                &graph,
+                PushFlow::new(&graph, &data),
+                &data,
+                p,
+                300,
+                1500,
+                seed,
+            ),
             "PCF" => bit_flip_episode(
                 &graph,
                 PushCancelFlow::with_mode(&graph, &data, PhiMode::Eager),
@@ -586,7 +625,13 @@ pub fn bit_flip_ablation(name: &str, cube_dim: u32, seed: u64, threads: usize) -
     });
     let mut t = Table::new(
         name,
-        &["algorithm", "flip prob", "err after episode", "err after recovery", "flips injected"],
+        &[
+            "algorithm",
+            "flip prob",
+            "err after episode",
+            "err after recovery",
+            "flips injected",
+        ],
     );
     for row in rows {
         t.push(
@@ -643,7 +688,13 @@ pub fn node_crash_ablation(name: &str, cube_dim: u32, seed: u64, threads: usize)
     });
     let mut t = Table::new(
         name,
-        &["algorithm", "crash round", "final max err", "rounds", "reconverged"],
+        &[
+            "algorithm",
+            "crash round",
+            "final max err",
+            "rounds",
+            "reconverged",
+        ],
     );
     for row in rows {
         t.push(
@@ -762,7 +813,13 @@ pub fn execution_model_ablation(name: &str, cube_dim: u32, seed: u64, threads: u
     });
     let mut t = Table::new(
         name,
-        &["algorithm", "execution model", "rounds to 1e-12", "best max err", "converged"],
+        &[
+            "algorithm",
+            "execution model",
+            "rounds to 1e-12",
+            "best max err",
+            "converged",
+        ],
     );
     for row in rows {
         t.push(
@@ -868,7 +925,12 @@ pub fn equivalence_check(cube_dim: u32, rounds: u64, seed: u64) -> f64 {
     let n = 1usize << cube_dim;
     let graph = hypercube(cube_dim);
     let data = InitialData::uniform_random(n, AggregateKind::Average, seed ^ 0xE0);
-    let mut pf = Simulator::new(&graph, PushFlow::new(&graph, &data), FaultPlan::none(), seed);
+    let mut pf = Simulator::new(
+        &graph,
+        PushFlow::new(&graph, &data),
+        FaultPlan::none(),
+        seed,
+    );
     let mut pcf = Simulator::new(
         &graph,
         PushCancelFlow::new(&graph, &data),
@@ -899,7 +961,14 @@ pub fn small_accuracy_gap(exp: u32, seed: u64) -> (f64, f64) {
         record_every: 0,
         plateau_window: Some(3000),
     };
-    let pf = run_reduction(Algorithm::PushFlow, &graph, &data, FaultPlan::none(), seed, cfg);
+    let pf = run_reduction(
+        Algorithm::PushFlow,
+        &graph,
+        &data,
+        FaultPlan::none(),
+        seed,
+        cfg,
+    );
     let pcf = run_reduction(
         Algorithm::PushCancelFlow(PhiMode::Eager),
         &graph,
@@ -936,7 +1005,7 @@ mod tests {
         };
         let t = accuracy_sweep("t", Algorithm::PushCancelFlow(PhiMode::Eager), &opts);
         assert_eq!(t.rows.len(), 4); // 2 topologies × 2 aggregates
-        // 8-node PCF must reach excellent accuracy
+                                     // 8-node PCF must reach excellent accuracy
         for raw in &t.raw {
             assert!(raw["best_max_err"].as_f64().unwrap() < 1e-13);
         }
@@ -960,8 +1029,14 @@ mod tests {
                 .and_then(|v| v[key].as_f64())
                 .unwrap()
         };
-        assert!(at(62, "pf_max") > at(59, "pf_max") * 5.0, "PF should rebound");
-        assert!(at(62, "pcf_max") < at(59, "pcf_max") * 5.0, "PCF should not");
+        assert!(
+            at(62, "pf_max") > at(59, "pf_max") * 5.0,
+            "PF should rebound"
+        );
+        assert!(
+            at(62, "pcf_max") < at(59, "pcf_max") * 5.0,
+            "PCF should not"
+        );
         // identical before the failure (same seed)
         assert!((at(30, "pf_max") - at(30, "pcf_max")).abs() <= at(30, "pf_max") * 1e-6);
     }
@@ -973,7 +1048,10 @@ mod tests {
         for raw in &t.raw {
             let pf = raw["pf_flow"].as_f64().unwrap();
             let schematic = raw["schematic"].as_f64().unwrap();
-            assert!((pf - schematic).abs() < 3.0, "pf={pf} schematic={schematic}");
+            assert!(
+                (pf - schematic).abs() < 3.0,
+                "pf={pf} schematic={schematic}"
+            );
             // PCF flows stay near the aggregate (2), not the transport
             let pcf = raw["pcf_flow_magnitude"].as_f64().unwrap();
             assert!(pcf < 30.0, "pcf flow magnitude {pcf}");
@@ -1034,7 +1112,7 @@ mod tests {
     fn bit_flip_ablation_tiny() {
         let t = bit_flip_ablation("t", 4, 7, 1);
         assert_eq!(t.rows.len(), 15); // 5 variants × 3 rates
-        // at the lowest rate, PCF recovers to high accuracy
+                                      // at the lowest rate, PCF recovers to high accuracy
         let pcf_low = t
             .raw
             .iter()

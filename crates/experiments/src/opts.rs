@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed `--key=value` arguments with typed accessors.
+/// Parsed `--key=value` / `--key value` arguments with typed accessors.
 ///
 /// Unknown keys are rejected at access-check time via [`Opts::finish`], so
 /// a typo'd flag fails loudly instead of silently running the default
@@ -16,19 +16,32 @@ pub struct Opts {
 impl Opts {
     /// Parse from an iterator of arguments (excluding the program name).
     ///
+    /// Both `--key=value` and the two-token `--key value` spelling are
+    /// accepted; a trailing `--key` with no value (or followed by another
+    /// option) is read as the boolean `--key=true`.
+    ///
     /// # Panics
-    /// Panics on malformed arguments (anything not of the form
-    /// `--key=value`).
+    /// Panics on malformed arguments (anything not starting with `--`).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut values = BTreeMap::new();
-        for a in args {
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
             let rest = a
                 .strip_prefix("--")
                 .unwrap_or_else(|| panic!("expected --key=value, got {a:?}"));
-            let (k, v) = rest
-                .split_once('=')
-                .unwrap_or_else(|| panic!("expected --key=value, got {a:?}"));
-            values.insert(k.to_string(), v.to_string());
+            let (k, v) = match rest.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => {
+                    let takes_next = it.peek().is_some_and(|n| !n.starts_with("--"));
+                    let v = if takes_next {
+                        it.next().unwrap()
+                    } else {
+                        "true".to_string()
+                    };
+                    (rest.to_string(), v)
+                }
+            };
+            values.insert(k, v);
         }
         Opts {
             values,
@@ -49,21 +62,30 @@ impl Opts {
     /// A `u64` option with default.
     pub fn u64(&self, key: &str, default: u64) -> u64 {
         self.raw(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} must be an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
     /// An `f64` option with default.
     pub fn f64(&self, key: &str, default: f64) -> f64 {
         self.raw(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be a number, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} must be a number, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
     /// A boolean option (`true`/`false`) with default.
     pub fn bool(&self, key: &str, default: bool) -> bool {
         self.raw(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be true/false, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} must be true/false, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -123,6 +145,23 @@ mod tests {
     #[should_panic(expected = "expected --key=value")]
     fn malformed_rejected() {
         let _ = opts(&["runs=3"]);
+    }
+
+    #[test]
+    fn space_separated_values() {
+        let o = opts(&["--mode", "sanity", "--runs", "7", "--x", "-5"]);
+        assert_eq!(o.string("mode", "stress"), "sanity");
+        assert_eq!(o.u64("runs", 1), 7);
+        assert_eq!(o.string("x", "0"), "-5");
+        o.finish();
+    }
+
+    #[test]
+    fn bare_flag_is_boolean_true() {
+        let o = opts(&["--full", "--mode", "stress"]);
+        assert!(o.bool("full", false));
+        assert_eq!(o.string("mode", "sanity"), "stress");
+        o.finish();
     }
 
     #[test]

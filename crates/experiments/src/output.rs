@@ -45,7 +45,15 @@ impl Table {
     pub fn to_markdown(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "| {} |", self.columns.join(" | "));
-        let _ = writeln!(s, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            s,
+            "|{}|",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for row in &self.rows {
             let _ = writeln!(s, "| {} |", row.join(" | "));
         }
@@ -62,9 +70,21 @@ impl Table {
             }
         };
         let mut s = String::new();
-        let _ = writeln!(s, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            s,
+            "{}",
+            self.columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(s, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                s,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         s
     }
@@ -129,7 +149,10 @@ mod tests {
     fn sample() -> Table {
         let mut t = Table::new("test_table", &["n", "err"]);
         t.push(vec!["8".into(), fmt_err(1e-15)], &Row { n: 8, err: 1e-15 });
-        t.push(vec!["64".into(), fmt_err(2e-13)], &Row { n: 64, err: 2e-13 });
+        t.push(
+            vec!["64".into(), fmt_err(2e-13)],
+            &Row { n: 64, err: 2e-13 },
+        );
         t
     }
 

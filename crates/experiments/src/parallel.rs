@@ -34,20 +34,26 @@ where
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i].lock().unwrap().take().expect("slot claimed twice");
-                let r = f(item);
-                *results[i].lock().unwrap() = Some(r);
-            });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i].lock().unwrap().take().expect("slot claimed twice");
+                    let r = f(item);
+                    *results[i].lock().unwrap() = Some(r);
+                })
+            })
+            .collect();
+        for h in handles {
+            if h.join().is_err() {
+                panic!("worker thread panicked");
+            }
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
         .into_iter()

@@ -47,7 +47,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -145,7 +149,11 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         let data = self
             .data
             .iter()
@@ -259,8 +267,14 @@ mod tests {
 
     #[test]
     fn random_reproducible() {
-        assert_eq!(Matrix::random_uniform(4, 4, 9), Matrix::random_uniform(4, 4, 9));
-        assert_ne!(Matrix::random_uniform(4, 4, 9), Matrix::random_uniform(4, 4, 10));
+        assert_eq!(
+            Matrix::random_uniform(4, 4, 9),
+            Matrix::random_uniform(4, 4, 9)
+        );
+        assert_ne!(
+            Matrix::random_uniform(4, 4, 9),
+            Matrix::random_uniform(4, 4, 10)
+        );
         // entries within [-1, 1)
         let m = Matrix::random_uniform(10, 10, 11);
         assert!(m.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));

@@ -130,7 +130,10 @@ impl FaultPlan {
 
     /// Plan with only probabilistic message loss.
     pub fn with_loss(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability {p} outside [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} outside [0,1]"
+        );
         FaultPlan {
             msg_loss_prob: p,
             ..Self::default()
@@ -139,7 +142,10 @@ impl FaultPlan {
 
     /// Plan with only probabilistic bit flips.
     pub fn with_bit_flips(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "flip probability {p} outside [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "flip probability {p} outside [0,1]"
+        );
         FaultPlan {
             bit_flip_prob: p,
             ..Self::default()

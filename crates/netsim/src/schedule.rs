@@ -40,7 +40,12 @@ impl Schedule {
 
     /// Choose the partner for `node` among `alive` (its believed-alive
     /// neighbor list, sorted). Returns `None` when the list is empty.
-    pub(crate) fn pick(&mut self, node: NodeId, alive: &[NodeId], rng: &mut StdRng) -> Option<NodeId> {
+    pub(crate) fn pick(
+        &mut self,
+        node: NodeId,
+        alive: &[NodeId],
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
         if alive.is_empty() {
             return None;
         }
@@ -69,7 +74,9 @@ mod tests {
         let mut s = Schedule::round_robin(1);
         let mut rng = stream_rng(0, RngStream::Schedule);
         let alive = [10, 20, 30];
-        let picks: Vec<_> = (0..6).map(|_| s.pick(0, &alive, &mut rng).unwrap()).collect();
+        let picks: Vec<_> = (0..6)
+            .map(|_| s.pick(0, &alive, &mut rng).unwrap())
+            .collect();
         assert_eq!(picks, vec![10, 20, 30, 10, 20, 30]);
     }
 

@@ -48,7 +48,7 @@ pub trait Protocol {
 }
 
 /// Counters accumulated over a run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
 pub struct SimStats {
     /// Rounds executed.
     pub rounds: u64,
@@ -145,13 +145,16 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         options: SimOptions,
     ) -> Self {
         let n = graph.len();
-        let believed = (0..n as NodeId).map(|i| graph.neighbors(i).to_vec()).collect();
+        let believed = (0..n as NodeId)
+            .map(|i| graph.neighbors(i).to_vec())
+            .collect();
         assert!(
-            options.activation == Activation::Synchronous
-                || options.delay.max_delay() == 0,
+            options.activation == Activation::Synchronous || options.delay.max_delay() == 0,
             "asynchronous activation requires the zero-delay model"
         );
-        let buckets = (0..options.delay.max_delay() + 1).map(|_| Vec::new()).collect();
+        let buckets = (0..options.delay.max_delay() + 1)
+            .map(|_| Vec::new())
+            .collect();
         Simulator {
             graph,
             protocol,
@@ -359,22 +362,25 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             self.record(Event::LostDead { round, src, dst });
             return None;
         }
-        if self.plan.msg_loss_prob > 0.0
-            && self.fault_rng.random::<f64>() < self.plan.msg_loss_prob
+        if self.plan.msg_loss_prob > 0.0 && self.fault_rng.random::<f64>() < self.plan.msg_loss_prob
         {
             self.stats.lost_random += 1;
             self.record(Event::LostRandom { round, src, dst });
             return None;
         }
-        if self.plan.bit_flip_prob > 0.0
-            && self.fault_rng.random::<f64>() < self.plan.bit_flip_prob
+        if self.plan.bit_flip_prob > 0.0 && self.fault_rng.random::<f64>() < self.plan.bit_flip_prob
         {
             let bits = msg.corruptible_bits();
             if bits > 0 {
                 let bit = self.fault_rng.random_range(0..bits);
                 msg.flip_bit(bit);
                 self.stats.bit_flips += 1;
-                self.record(Event::BitFlipped { round, src, dst, bit });
+                self.record(Event::BitFlipped {
+                    round,
+                    src,
+                    dst,
+                    bit,
+                });
             }
         }
         Some(msg)
@@ -800,7 +806,9 @@ mod tests {
     #[test]
     fn trace_records_transport_and_faults() {
         let g = bus(3);
-        let plan = FaultPlan::with_loss(0.3).fail_link(0, 1, 5).crash_node(2, 8);
+        let plan = FaultPlan::with_loss(0.3)
+            .fail_link(0, 1, 5)
+            .crash_node(2, 8);
         let mut sim = Simulator::new(&g, Recorder::new(3), plan, 7);
         sim.enable_trace(10_000);
         sim.run(20);

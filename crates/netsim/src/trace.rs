@@ -8,10 +8,14 @@
 //! often than leaves, which is exactly what starves push gossip).
 
 use gr_topology::NodeId;
+use serde::Serialize;
 use std::collections::VecDeque;
 
 /// One simulator event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Serializes externally tagged (`{"Sent": {"round": …, …}}`) so JSON
+/// trace dumps are self-describing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub enum Event {
     /// A message was handed to the transport.
     Sent {
@@ -158,6 +162,25 @@ impl Trace {
     pub fn round_events(&self, round: u64) -> impl Iterator<Item = &Event> {
         self.ring.iter().filter(move |e| e.round() == round)
     }
+
+    /// The last `n` retained events, oldest first (replay dumps want the
+    /// end of the story, not the beginning).
+    pub fn tail(&self, n: usize) -> impl Iterator<Item = &Event> {
+        self.ring.iter().skip(self.ring.len().saturating_sub(n))
+    }
+}
+
+/// Serializes as `{"capacity": …, "dropped": …, "events": […]}` —
+/// `dropped` records how many events were evicted before the window, so
+/// a consumer knows whether the JSON is the whole story.
+impl Serialize for Trace {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("dropped".to_string(), self.dropped.to_value()),
+            ("events".to_string(), self.ring.to_value()),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -168,7 +191,11 @@ mod tests {
     fn ring_evicts_oldest() {
         let mut t = Trace::new(3);
         for r in 0..5 {
-            t.push(Event::Sent { round: r, src: 0, dst: 1 });
+            t.push(Event::Sent {
+                round: r,
+                src: 0,
+                dst: 1,
+            });
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.dropped(), 2);
@@ -179,9 +206,21 @@ mod tests {
     #[test]
     fn round_filter() {
         let mut t = Trace::new(10);
-        t.push(Event::Sent { round: 1, src: 0, dst: 1 });
-        t.push(Event::Delivered { round: 1, src: 0, dst: 1 });
-        t.push(Event::Sent { round: 2, src: 1, dst: 0 });
+        t.push(Event::Sent {
+            round: 1,
+            src: 0,
+            dst: 1,
+        });
+        t.push(Event::Delivered {
+            round: 1,
+            src: 0,
+            dst: 1,
+        });
+        t.push(Event::Sent {
+            round: 2,
+            src: 1,
+            dst: 0,
+        });
         assert_eq!(t.round_events(1).count(), 2);
         assert_eq!(t.round_events(2).count(), 1);
         assert_eq!(t.round_events(9).count(), 0);
@@ -194,10 +233,52 @@ mod tests {
     }
 
     #[test]
+    fn serializes_with_eviction_count() {
+        let mut t = Trace::new(2);
+        t.push(Event::Sent {
+            round: 0,
+            src: 0,
+            dst: 1,
+        });
+        t.push(Event::NodeCrashed { round: 1, node: 3 });
+        t.push(Event::Delivered {
+            round: 2,
+            src: 1,
+            dst: 0,
+        });
+        let v = t.to_value();
+        assert_eq!(v["dropped"], 1);
+        assert_eq!(v["capacity"], 2);
+        assert_eq!(v["events"][0]["NodeCrashed"]["node"], 3);
+        assert_eq!(v["events"][1]["Delivered"]["round"], 2);
+    }
+
+    #[test]
+    fn tail_returns_most_recent() {
+        let mut t = Trace::new(5);
+        for r in 0..4 {
+            t.push(Event::Sent {
+                round: r,
+                src: 0,
+                dst: 1,
+            });
+        }
+        let rounds: Vec<u64> = t.tail(2).map(|e| e.round()).collect();
+        assert_eq!(rounds, vec![2, 3]);
+        assert_eq!(t.tail(99).count(), 4);
+    }
+
+    #[test]
     fn event_round_accessor() {
         assert_eq!(Event::NodeCrashed { round: 7, node: 3 }.round(), 7);
         assert_eq!(
-            Event::BitFlipped { round: 9, src: 1, dst: 2, bit: 5 }.round(),
+            Event::BitFlipped {
+                round: 9,
+                src: 1,
+                dst: 2,
+                bit: 5
+            }
+            .round(),
             9
         );
     }

@@ -48,11 +48,7 @@ impl RelErr {
     /// Compute the error summary of a set of local estimates against a
     /// common reference.
     pub fn of<I: IntoIterator<Item = f64>>(estimates: I, reference: Dd) -> RelErr {
-        let s = Summary::from_iter(
-            estimates
-                .into_iter()
-                .map(|e| relative_error(e, reference)),
-        );
+        let s = Summary::from_iter(estimates.into_iter().map(|e| relative_error(e, reference)));
         RelErr {
             max: s.max(),
             median: s.median(),

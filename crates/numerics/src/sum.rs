@@ -131,14 +131,19 @@ mod tests {
         let mut x = 0x12345678u64;
         let mut v: Vec<f64> = Vec::with_capacity(10_000);
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let f = ((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 1e6;
             v.push(f);
         }
         let reference = dd_sum(&v).to_f64();
         let comp = neumaier_sum(&v);
         let pw = pairwise_sum(&v);
-        assert_eq!(comp, reference, "compensated sum should round-trip the dd reference");
+        assert_eq!(
+            comp, reference,
+            "compensated sum should round-trip the dd reference"
+        );
         let rel = ((pw - reference) / reference).abs();
         assert!(rel < 1e-12, "pairwise error {rel}");
     }

@@ -59,7 +59,11 @@ impl<P: Payload> InitialData<P> {
     /// Panics if lengths differ, values have inconsistent dimensions, or
     /// all weights are zero (the target `Σx/Σw` would be undefined).
     pub fn new(values: Vec<P>, weights: Vec<f64>) -> Self {
-        assert_eq!(values.len(), weights.len(), "values/weights length mismatch");
+        assert_eq!(
+            values.len(),
+            weights.len(),
+            "values/weights length mismatch"
+        );
         assert!(!values.is_empty(), "empty reduction");
         let dim = values[0].dim();
         assert!(
@@ -70,7 +74,11 @@ impl<P: Payload> InitialData<P> {
             weights.iter().any(|&w| w != 0.0),
             "all-zero weights: aggregate undefined"
         );
-        InitialData { values, weights, dim }
+        InitialData {
+            values,
+            weights,
+            dim,
+        }
     }
 
     /// Initial data for the given aggregate kind.

@@ -118,7 +118,12 @@ mod tests {
         let g = hypercube(8); // 256 nodes
         let d = data(256, 1);
         let mx = true_max(&d);
-        let mut sim = Simulator::new(&g, ExtremumGossip::new(&g, &d, Extremum::Max), FaultPlan::none(), 1);
+        let mut sim = Simulator::new(
+            &g,
+            ExtremumGossip::new(&g, &d, Extremum::Max),
+            FaultPlan::none(),
+            1,
+        );
         sim.run(60); // ~8·log2(256) rounds is ample
         for i in 0..256 {
             assert_eq!(sim.protocol().scalar_estimate(i), mx, "node {i}");
@@ -130,7 +135,12 @@ mod tests {
         let g = ring(16);
         let d = data(16, 2);
         let mn = (0..16).map(|i| *d.value(i)).fold(f64::MAX, f64::min);
-        let mut sim = Simulator::new(&g, ExtremumGossip::new(&g, &d, Extremum::Min), FaultPlan::none(), 2);
+        let mut sim = Simulator::new(
+            &g,
+            ExtremumGossip::new(&g, &d, Extremum::Min),
+            FaultPlan::none(),
+            2,
+        );
         sim.run(200);
         assert!(sim.protocol().scalar_estimates().iter().all(|&e| e == mn));
     }
@@ -140,7 +150,12 @@ mod tests {
         let g = complete(32);
         let d = data(32, 3);
         let mx = true_max(&d);
-        let mut sim = Simulator::new(&g, ExtremumGossip::new(&g, &d, Extremum::Max), FaultPlan::with_loss(0.5), 3);
+        let mut sim = Simulator::new(
+            &g,
+            ExtremumGossip::new(&g, &d, Extremum::Max),
+            FaultPlan::with_loss(0.5),
+            3,
+        );
         sim.run(120);
         assert!(sim.protocol().scalar_estimates().iter().all(|&e| e == mx));
     }
@@ -182,7 +197,10 @@ mod tests {
             .cloned()
             .fold(f64::MIN, f64::max);
         assert!(got >= mx, "extrema can only grow");
-        assert!(got > mx, "with ~1000 flips, inflation is certain in practice");
+        assert!(
+            got > mx,
+            "with ~1000 flips, inflation is certain in practice"
+        );
     }
 
     #[test]

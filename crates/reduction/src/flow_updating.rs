@@ -188,6 +188,17 @@ impl<'g, P: Payload> ReductionProtocol for FlowUpdating<'g, P> {
         let e = self.estimate_value(node);
         out.copy_from_slice(e.components());
     }
+
+    fn write_flow(&self, i: NodeId, j: NodeId, values: &mut [f64]) -> Option<f64> {
+        values.copy_from_slice(self.flow(i, j).components());
+        // FU transports no weight (averaging with fixed unit weights), so
+        // the flow's weight component is identically zero.
+        Some(0.0)
+    }
+
+    fn max_flow(&self) -> Option<f64> {
+        Some(self.max_flow_magnitude())
+    }
 }
 
 #[cfg(test)]
@@ -236,7 +247,12 @@ mod tests {
     fn tolerates_heavy_message_loss() {
         let g = complete(12);
         let data = avg_data(12, 4);
-        let mut sim = Simulator::new(&g, FlowUpdating::new(&g, &data), FaultPlan::with_loss(0.4), 4);
+        let mut sim = Simulator::new(
+            &g,
+            FlowUpdating::new(&g, &data),
+            FaultPlan::with_loss(0.4),
+            4,
+        );
         sim.run(2000);
         let err = max_relative_error(sim.protocol().scalar_estimates(), data.reference()[0]);
         assert!(err < 1e-10, "err={err}");

@@ -29,6 +29,30 @@ pub trait ReductionProtocol: Protocol {
     /// ratio of their *current* total mass, not of their initial data.
     fn write_mass(&self, node: NodeId, values: &mut [f64]) -> f64;
 
+    /// Write the net flow node `i` currently accounts for toward its
+    /// neighbor `j` into `values` (length [`dim`](Self::dim)) and return
+    /// the flow's weight component. For slot-structured protocols (PCF)
+    /// this is the per-edge *sum* over slots. Returns `None` for
+    /// protocols without per-edge flow variables (the push-sum family),
+    /// and for those `values` is left untouched.
+    ///
+    /// This is the hook the campaign oracle's flow checks stand on: after
+    /// a completed exchange, flow conservation requires
+    /// `flow(i, j) == −flow(j, i)` componentwise, and summing
+    /// `v_i − Σ_j flow(i, j)` over nodes must reproduce the global mass.
+    fn write_flow(&self, i: NodeId, j: NodeId, values: &mut [f64]) -> Option<f64> {
+        let _ = (i, j, values);
+        None
+    }
+
+    /// Largest live flow-component magnitude across all edges, or `None`
+    /// for protocols without flow variables. The paper's structural claim
+    /// (Sec. III): PCF keeps this `O(|aggregate|)` while PF's and FU's
+    /// grow with the execution.
+    fn max_flow(&self) -> Option<f64> {
+        None
+    }
+
     /// Convenience accessor for scalar (`dim() == 1`) reductions.
     fn scalar_estimate(&self, node: NodeId) -> f64 {
         debug_assert_eq!(self.dim(), 1, "scalar_estimate on a vector reduction");

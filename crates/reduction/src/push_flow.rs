@@ -98,7 +98,10 @@ impl<'g, P: Payload> PushFlow<'g, P> {
             Some(b) => {
                 m.weight.is_finite()
                     && m.weight.abs() <= b
-                    && m.value.components().iter().all(|c| c.is_finite() && c.abs() <= b)
+                    && m.value
+                        .components()
+                        .iter()
+                        .all(|c| c.is_finite() && c.abs() <= b)
             }
         }
     }
@@ -224,6 +227,16 @@ impl<'g, P: Payload> ReductionProtocol for PushFlow<'g, P> {
     fn write_estimate(&self, node: NodeId, out: &mut [f64]) {
         self.estimate_mass(node).write_estimate(out);
     }
+
+    fn write_flow(&self, i: NodeId, j: NodeId, values: &mut [f64]) -> Option<f64> {
+        let f = self.flow(i, j);
+        values.copy_from_slice(f.value.components());
+        Some(f.weight)
+    }
+
+    fn max_flow(&self) -> Option<f64> {
+        Some(self.max_flow_magnitude())
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +261,34 @@ mod tests {
         sim.run(300);
         let err = max_relative_error(sim.protocol().scalar_estimates(), reference);
         assert!(err < 1e-12, "err={err}");
+    }
+
+    #[test]
+    fn trait_flow_accessors_report_antisymmetry() {
+        // Asynchronous activation: exchanges are atomic, so fault-free
+        // rounds leave every edge exactly antisymmetric. (Synchronous
+        // rounds can leave crossing exchanges mid-flight.)
+        let g = ring(8);
+        let data = avg_data(8, 11);
+        let opts = gr_netsim::SimOptions {
+            activation: gr_netsim::Activation::Asynchronous,
+            ..Default::default()
+        };
+        let mut sim =
+            Simulator::with_options(&g, PushFlow::new(&g, &data), FaultPlan::none(), 7, opts);
+        sim.run(50);
+        let p = sim.protocol();
+        let (mut fij, mut fji) = ([0.0], [0.0]);
+        for i in 0..8u32 {
+            for j in g.neighbors(i).to_vec() {
+                let wij = ReductionProtocol::write_flow(p, i, j, &mut fij).unwrap();
+                let wji = ReductionProtocol::write_flow(p, j, i, &mut fji).unwrap();
+                // Fault-free rounds are completed exchanges: f_ij == −f_ji.
+                assert_eq!(fij[0], -fji[0], "edge ({i},{j})");
+                assert_eq!(wij, -wji, "edge ({i},{j}) weight");
+            }
+        }
+        assert!(ReductionProtocol::max_flow(p).unwrap() > 0.0);
     }
 
     #[test]
@@ -307,7 +348,10 @@ mod tests {
             let total_w: f64 = (0..8).map(|i| pf.estimate_mass(i).weight).sum();
             let total_v: f64 = (0..8).map(|i| pf.estimate_mass(i).value).sum();
             assert!((total_w - 8.0).abs() < 1e-10, "weight drifted: {total_w}");
-            assert!((total_v - total_v0).abs() < 1e-10, "value drifted: {total_v}");
+            assert!(
+                (total_v - total_v0).abs() < 1e-10,
+                "value drifted: {total_v}"
+            );
         }
     }
 
@@ -419,9 +463,11 @@ mod tests {
         let reference = data.reference()[0];
         let seed = 9;
 
-        let plan = FaultPlan::none().fail_link(0, 1, 75);
+        // The failure lands late enough (round 150) that the run is well
+        // past its slow transient, so the pre/post gap is unambiguous.
+        let plan = FaultPlan::none().fail_link(0, 1, 150);
         let mut faulty = Simulator::new(&g, PushFlow::new(&g, &data), plan, seed);
-        faulty.run(74);
+        faulty.run(149);
         let pre_err = RelErr::of(faulty.protocol().scalar_estimates(), reference).max;
         faulty.run(2);
         let post_err = RelErr::of(faulty.protocol().scalar_estimates(), reference).max;
@@ -454,7 +500,10 @@ mod tests {
         // only if no mass was exchanged with node 0. With the cut at round
         // 5 some mass did move, so just check consensus between 1 and 2.
         let (e1, e2) = (pf.scalar_estimate(1), pf.scalar_estimate(2));
-        assert!((e1 - e2).abs() < 1e-9, "survivors should agree: {e1} vs {e2}");
+        assert!(
+            (e1 - e2).abs() < 1e-9,
+            "survivors should agree: {e1} vs {e2}"
+        );
     }
 
     #[test]
@@ -479,7 +528,10 @@ mod tests {
         for i in 0..8 {
             let a = plain.scalar_estimate(i);
             let b = comp.scalar_estimate(i);
-            assert!((a - b).abs() <= 1e-10 * a.abs().max(1.0), "node {i}: {a} vs {b}");
+            assert!(
+                (a - b).abs() <= 1e-10 * a.abs().max(1.0),
+                "node {i}: {a} vs {b}"
+            );
         }
     }
 

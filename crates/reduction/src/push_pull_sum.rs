@@ -200,8 +200,12 @@ mod tests {
         // mass exactly like lost pushes.
         let g = complete(16);
         let data = avg_data(16, 4);
-        let mut sim =
-            Simulator::new(&g, PushPullSum::new(&g, &data), FaultPlan::with_loss(0.1), 4);
+        let mut sim = Simulator::new(
+            &g,
+            PushPullSum::new(&g, &data),
+            FaultPlan::with_loss(0.1),
+            4,
+        );
         sim.run(400);
         let w: f64 = (0..16).map(|i| sim.protocol().mass(i).weight).sum();
         assert!(w < 15.0, "loss should leak mass: {w}");

@@ -159,13 +159,20 @@ mod tests {
         sim.run(300);
         // Mass leaked:
         let total = sim.protocol().total_mass();
-        assert!(total.weight < 16.0 * 0.9, "weight should have leaked: {}", total.weight);
+        assert!(
+            total.weight < 16.0 * 0.9,
+            "weight should have leaked: {}",
+            total.weight
+        );
         // Estimates still agree with each other (consensus) but not with
         // the true aggregate — push-sum converges to the wrong value.
         let ests = sim.protocol().scalar_estimates();
         let spread = ests.iter().cloned().fold(f64::MIN, f64::max)
             - ests.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread.abs() < 1e-6, "estimates should agree, spread={spread}");
+        assert!(
+            spread.abs() < 1e-6,
+            "estimates should agree, spread={spread}"
+        );
         let err = max_relative_error(ests, reference);
         assert!(err > 1e-8, "lost mass must bias the limit, err={err}");
     }

@@ -272,7 +272,11 @@ where
     let mut best_round = 0u64;
     let mut converged = false;
 
-    let check_every = if cfg.record_every > 0 { cfg.record_every } else { 8 };
+    let check_every = if cfg.record_every > 0 {
+        cfg.record_every
+    } else {
+        8
+    };
 
     loop {
         sim.step();
@@ -425,7 +429,11 @@ mod tests {
             cfg,
         );
         assert!(!r.converged);
-        assert!(r.rounds < 100_000, "plateau should stop the run: {}", r.rounds);
+        assert!(
+            r.rounds < 100_000,
+            "plateau should stop the run: {}",
+            r.rounds
+        );
         assert!(r.final_err.max > 1e-10, "loss must bias push-sum");
     }
 

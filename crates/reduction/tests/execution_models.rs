@@ -8,8 +8,8 @@
 
 use gr_netsim::{Activation, DelayModel, FaultPlan, SimOptions};
 use gr_reduction::{
-    run_with_options, AggregateKind, FlowUpdating, InitialData, PhiMode, PushCancelFlow,
-    PushFlow, PushSum, RunConfig,
+    run_with_options, AggregateKind, FlowUpdating, InitialData, PhiMode, PushCancelFlow, PushFlow,
+    PushSum, RunConfig,
 };
 use gr_topology::hypercube;
 

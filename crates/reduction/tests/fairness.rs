@@ -62,7 +62,6 @@ fn scale_free_topologies_overload_hubs() {
         .scalar_estimates()
         .iter()
         .map(|e| ((e - reference.to_f64()) / reference.to_f64()).abs())
-        .fold(0.0f64, f64::max)
-        ;
+        .fold(0.0f64, f64::max);
     assert!(worst < 1e-7, "PCF should converge on BA graphs: {worst:e}");
 }

@@ -209,9 +209,7 @@ pub fn power_iteration(a: &GraphMatrix<'_>, cfg: &PowerConfig) -> SpectralResult
         }
         // Distributed normalisation: ‖y‖² and the Rayleigh numerator xᵀy,
         // batched into one 2-component reduction.
-        let locals: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![y[i] * y[i], x[i] * y[i]])
-            .collect();
+        let locals: Vec<Vec<f64>> = (0..n).map(|i| vec![y[i] * y[i], x[i] * y[i]]).collect();
         let (sums, rounds) = vector_sum(graph, locals, cfg, it as u64);
         reduction_rounds += rounds;
         // Every node normalises with ITS OWN estimate of the sums (the

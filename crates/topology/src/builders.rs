@@ -166,7 +166,10 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
 /// Panics if `n·k` is odd or `k ≥ n`, for which no simple `k`-regular
 /// graph exists.
 pub fn random_regular(n: usize, k: usize, seed: u64) -> Graph {
-    assert!((n * k).is_multiple_of(2), "n*k must be even for a k-regular graph");
+    assert!(
+        (n * k).is_multiple_of(2),
+        "n*k must be even for a k-regular graph"
+    );
     assert!(k < n, "degree {k} must be < node count {n}");
     let mut rng = StdRng::seed_from_u64(seed);
     'retry: loop {
@@ -188,7 +191,6 @@ pub fn random_regular(n: usize, k: usize, seed: u64) -> Graph {
     }
 }
 
-
 /// Watts–Strogatz small-world graph: a ring lattice where each node is
 /// joined to its `k/2` nearest neighbors on each side, with every edge
 /// rewired to a uniform random target with probability `beta`.
@@ -202,7 +204,10 @@ pub fn random_regular(n: usize, k: usize, seed: u64) -> Graph {
 /// # Panics
 /// Panics if `k` is odd, `k < 2`, `k >= n`, or `beta` is outside `[0, 1]`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
-    assert!(k.is_multiple_of(2) && k >= 2, "k must be even and >= 2, got {k}");
+    assert!(
+        k.is_multiple_of(2) && k >= 2,
+        "k must be even and >= 2, got {k}"
+    );
     assert!(k < n, "k ({k}) must be < n ({n})");
     assert!((0.0..=1.0).contains(&beta), "beta {beta} outside [0,1]");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -214,10 +219,8 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
         }
     }
     use std::collections::HashSet;
-    let mut present: HashSet<(NodeId, NodeId)> = edges
-        .iter()
-        .map(|&(a, b)| (a.min(b), a.max(b)))
-        .collect();
+    let mut present: HashSet<(NodeId, NodeId)> =
+        edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
     for e in edges.iter_mut() {
         if rng.random::<f64>() < beta {
             let (a, b) = *e;
@@ -396,7 +399,6 @@ mod tests {
         assert!(is_regular(&g, 4));
         assert_eq!(g, random_regular(30, 4, 42));
     }
-
 
     #[test]
     fn watts_strogatz_basics() {

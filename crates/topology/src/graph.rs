@@ -130,7 +130,10 @@ impl GraphBuilder {
     /// A builder for a graph with `n` nodes and no edges yet.
     pub fn new(n: usize) -> Self {
         assert!(n <= NodeId::MAX as usize, "too many nodes for u32 ids");
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Add the undirected edge `{u, v}`.

@@ -75,7 +75,10 @@ pub fn diameter(g: &Graph) -> Option<usize> {
 
 /// Histogram of node degrees: `hist[k]` = number of nodes with degree `k`.
 pub fn degree_histogram(g: &Graph) -> Vec<usize> {
-    let max_deg = (0..g.len() as NodeId).map(|i| g.degree(i)).max().unwrap_or(0);
+    let max_deg = (0..g.len() as NodeId)
+        .map(|i| g.degree(i))
+        .max()
+        .unwrap_or(0);
     let mut hist = vec![0usize; max_deg + 1];
     for i in 0..g.len() as NodeId {
         hist[g.degree(i)] += 1;

@@ -27,7 +27,10 @@ fn main() {
 
     for (label, alg) in [
         ("dmGS(push-flow)      ", Algorithm::PushFlow),
-        ("dmGS(push-cancel-flow)", Algorithm::PushCancelFlow(PhiMode::Eager)),
+        (
+            "dmGS(push-cancel-flow)",
+            Algorithm::PushCancelFlow(PhiMode::Eager),
+        ),
     ] {
         let mut cfg = DmgsConfig::paper(alg, 7);
         cfg.max_rounds_per_reduction = 3000;

@@ -45,18 +45,30 @@ fn main() {
     let plan = FaultPlan::with_loss(0.10).fail_link(0, 1, 100);
 
     let ps = trajectory(&graph, PushSum::new(&graph, &data), plan.clone(), reference);
-    let pf = trajectory(&graph, PushFlow::new(&graph, &data), plan.clone(), reference);
+    let pf = trajectory(
+        &graph,
+        PushFlow::new(&graph, &data),
+        plan.clone(),
+        reference,
+    );
     let pcf = trajectory(&graph, PushCancelFlow::new(&graph, &data), plan, reference);
 
     println!("max local relative error vs true average (10% loss + link death at round 100)\n");
-    println!("{:>7} {:>12} {:>12} {:>12}", "round", "push-sum", "push-flow", "PCF");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12}",
+        "round", "push-sum", "push-flow", "PCF"
+    );
     for (i, &cp) in CHECKPOINTS.iter().enumerate() {
         println!(
             "{cp:>7} {:>12.2e} {:>12.2e} {:>12.2e}{}",
             ps[i],
             pf[i],
             pcf[i],
-            if cp == 105 { "   <- link failure handled at 100" } else { "" }
+            if cp == 105 {
+                "   <- link failure handled at 100"
+            } else {
+                ""
+            }
         );
     }
 
@@ -66,5 +78,8 @@ fn main() {
     println!(" * push-cancel-flow: same failures, no fall-back, machine precision");
 
     assert!(ps.last().unwrap() > &1e-6, "push-sum should be biased");
-    assert!(pcf.last().unwrap() < &1e-12, "PCF should be at machine precision");
+    assert!(
+        pcf.last().unwrap() < &1e-12,
+        "PCF should be at machine precision"
+    );
 }

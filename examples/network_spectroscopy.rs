@@ -24,9 +24,18 @@ fn main() {
     let adj = power_iteration(&GraphMatrix::adjacency(&cube), &cfg);
     let lap = power_iteration(&GraphMatrix::laplacian(&cube), &PowerConfig::new(alg, 2));
     println!("6D hypercube (64 nodes):");
-    println!("  adjacency spectral radius: {:.9}  (exact: 6)", adj.eigenvalue);
-    println!("  largest Laplacian eigenvalue: {:.9}  (exact: 12)", lap.eigenvalue);
-    println!("  gossip rounds spent: {}", adj.reduction_rounds + lap.reduction_rounds);
+    println!(
+        "  adjacency spectral radius: {:.9}  (exact: 6)",
+        adj.eigenvalue
+    );
+    println!(
+        "  largest Laplacian eigenvalue: {:.9}  (exact: 12)",
+        lap.eigenvalue
+    );
+    println!(
+        "  gossip rounds spent: {}",
+        adj.reduction_rounds + lap.reduction_rounds
+    );
 
     // A small-world mesh has no closed form — the point of measuring.
     let mesh = {

@@ -50,6 +50,9 @@ fn main() {
         .iter()
         .map(|e| ((e - truth) / truth).abs())
         .fold(0.0f64, f64::max);
-    println!("\nafter {} rounds every node agrees on the average to {final_max:.2e} relative error", sim.round());
+    println!(
+        "\nafter {} rounds every node agrees on the average to {final_max:.2e} relative error",
+        sim.round()
+    );
     assert!(final_max < 1e-12);
 }

@@ -39,7 +39,9 @@ fn main() {
 
     // Temperatures around 21°C with sensor noise.
     let mut rng = StdRng::seed_from_u64(99);
-    let temps: Vec<f64> = (0..n).map(|_| 21.0 + rng.random::<f64>() * 4.0 - 2.0).collect();
+    let temps: Vec<f64> = (0..n)
+        .map(|_| 21.0 + rng.random::<f64>() * 4.0 - 2.0)
+        .collect();
     let data = InitialData::with_kind(temps.clone(), AggregateKind::Average);
 
     // The fault story: 5% packet loss throughout, sensor 13 dies at
@@ -58,7 +60,10 @@ fn main() {
     };
     println!("mean of all 100 sensors: {all_mean:.10}\n");
 
-    println!("{:>6} {:>16} {:>14}  note", "round", "sensor 0 reads", "max |err|");
+    println!(
+        "{:>6} {:>16} {:>14}  note",
+        "round", "sensor 0 reads", "max |err|"
+    );
     for checkpoint in [20u64, 60, 119, 125, 160, 300, 600, 1200] {
         while sim.round() < checkpoint {
             sim.step();
@@ -92,7 +97,10 @@ fn main() {
     let hi = ests.iter().cloned().fold(f64::MIN, f64::max);
     let spread = hi - lo;
     println!("final spread across the 99 survivors: {spread:.2e} °C");
-    println!("final consensus offset from the 100-sensor mean: {:.2e} °C", (lo - all_mean).abs());
+    println!(
+        "final consensus offset from the 100-sensor mean: {:.2e} °C",
+        (lo - all_mean).abs()
+    );
     assert!(spread < 1e-9, "sensors should agree, spread={spread:e}");
     assert!(
         (lo - all_mean).abs() < 1e-4,

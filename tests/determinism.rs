@@ -8,7 +8,7 @@ use gossip_reduce::dmgs::{dmgs, DmgsConfig};
 use gossip_reduce::linalg::Matrix;
 use gossip_reduce::netsim::FaultPlan;
 use gossip_reduce::reduction::{
-    run_reduction, Algorithm, AggregateKind, InitialData, PhiMode, RunConfig,
+    run_reduction, AggregateKind, Algorithm, InitialData, PhiMode, RunConfig,
 };
 use gossip_reduce::topology::hypercube;
 
@@ -52,7 +52,14 @@ fn same_schedule_across_algorithms_with_faults() {
     let plan = FaultPlan::none().fail_link(3, 2, 40);
     let cfg = RunConfig::fixed(100, 0);
     let pf = run_reduction(Algorithm::PushFlow, &g, &data, plan.clone(), 9, cfg);
-    let pcf = run_reduction(Algorithm::PushCancelFlow(PhiMode::Eager), &g, &data, plan, 9, cfg);
+    let pcf = run_reduction(
+        Algorithm::PushCancelFlow(PhiMode::Eager),
+        &g,
+        &data,
+        plan,
+        9,
+        cfg,
+    );
     assert_eq!(pf.sim.sent, pcf.sim.sent);
     assert_eq!(pf.sim.delivered, pcf.sim.delivered);
     assert_eq!(pf.sim.lost_dead, pcf.sim.lost_dead);
@@ -74,6 +81,52 @@ fn dmgs_is_bit_reproducible() {
         assert_eq!(x.to_bits(), y.to_bits());
     }
     assert_eq!(a.total_rounds, b.total_rounds);
+}
+
+#[test]
+fn campaign_report_is_byte_deterministic() {
+    // The campaign's report contract: same lane + same seeds ⇒ identical
+    // bytes, independent of the worker count. (CI diffs reports, and the
+    // stress lane is trend-tracked across commits; both need this.)
+    use gr_campaign::{run_campaign, sanity_corpus, Lane};
+    let corpus: Vec<_> = sanity_corpus(&[1])
+        .into_iter()
+        .filter(|sc| sc.template == "complete16")
+        .collect();
+    let a = run_campaign(Lane::Sanity, &corpus, 1).render();
+    let b = run_campaign(Lane::Sanity, &corpus, 4).render();
+    assert_eq!(a, b);
+    assert!(a.contains("verdict: PASS"), "{a}");
+}
+
+#[test]
+fn campaign_violation_replays_to_identical_triple() {
+    // A stress fingerprint printed by the report must replay to the same
+    // (invariant, round, node) triple, and the rendered replay (trace
+    // tail included) must be byte-identical across invocations. PCF in
+    // eager-ϕ mode under bit flips is guaranteed to violate: a
+    // NaN-producing flip reaches ϕ, which only accumulates (Fig. 5).
+    use gr_campaign::{find_scenario, render_replay, run_scenario, stress_corpus};
+    let corpus = stress_corpus(&[1, 2, 3]);
+    let result = corpus
+        .iter()
+        .filter(|sc| sc.template.starts_with("flips/"))
+        .map(run_scenario)
+        .find(|r| r.violation.is_some())
+        .expect("bit-flip templates must produce at least one violation");
+    let v = result.violation.clone().unwrap();
+
+    let sc = find_scenario(&corpus, &result.hash).expect("report hash resolves in the corpus");
+    let replayed = run_scenario(sc);
+    let rv = replayed.violation.expect("replay reproduces the violation");
+    assert_eq!(rv.invariant, v.invariant);
+    assert_eq!(rv.round, v.round);
+    assert_eq!(rv.node, v.node);
+
+    let r1 = render_replay(sc, 16);
+    let r2 = render_replay(sc, 16);
+    assert_eq!(r1, r2);
+    assert!(r1.contains(&format!("round={}", v.round)), "{r1}");
 }
 
 #[test]

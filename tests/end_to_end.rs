@@ -5,7 +5,7 @@ use gossip_reduce::dmgs::{dmgs, DmgsConfig};
 use gossip_reduce::linalg::Matrix;
 use gossip_reduce::netsim::FaultPlan;
 use gossip_reduce::reduction::{
-    run_reduction, Algorithm, AggregateKind, InitialData, PhiMode, RunConfig,
+    run_reduction, AggregateKind, Algorithm, InitialData, PhiMode, RunConfig,
 };
 use gossip_reduce::topology::{
     binary_tree, complete, erdos_renyi, hypercube, is_connected, ring, torus3d,
@@ -130,8 +130,16 @@ fn dmgs_full_stack_small() {
     let v = Matrix::random_uniform(27, 6, 11);
     let cfg = DmgsConfig::paper(Algorithm::PushCancelFlow(PhiMode::Eager), 11);
     let res = dmgs(&v, &g, &cfg);
-    assert!(res.factorization_error < 5e-14, "{:e}", res.factorization_error);
-    assert!(res.orthogonality_error < 5e-13, "{:e}", res.orthogonality_error);
+    assert!(
+        res.factorization_error < 5e-14,
+        "{:e}",
+        res.factorization_error
+    );
+    assert!(
+        res.orthogonality_error < 5e-13,
+        "{:e}",
+        res.orthogonality_error
+    );
     // R copies upper triangular everywhere
     for r in &res.r_per_node {
         for i in 0..6 {

@@ -51,8 +51,7 @@ fn all_subsystems_reachable_through_facade() {
 #[test]
 fn extremum_and_convergence_helpers() {
     use gossip_reduce::reduction::{
-        AggregateKind, Extremum, ExtremumGossip, InitialData, LocalConvergence,
-        ReductionProtocol,
+        AggregateKind, Extremum, ExtremumGossip, InitialData, LocalConvergence, ReductionProtocol,
     };
     let g = gossip_reduce::topology::complete(8);
     let data = InitialData::with_kind(
@@ -60,12 +59,8 @@ fn extremum_and_convergence_helpers() {
         AggregateKind::Average,
     );
     let p = ExtremumGossip::new(&g, &data, Extremum::Max);
-    let mut sim = gossip_reduce::netsim::Simulator::new(
-        &g,
-        p,
-        gossip_reduce::netsim::FaultPlan::none(),
-        3,
-    );
+    let mut sim =
+        gossip_reduce::netsim::Simulator::new(&g, p, gossip_reduce::netsim::FaultPlan::none(), 3);
     let mut det = LocalConvergence::new(8, 4, 1e-12);
     for _ in 0..60 {
         sim.step();

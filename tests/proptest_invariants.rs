@@ -9,8 +9,7 @@
 use gossip_reduce::netsim::Protocol;
 use gossip_reduce::numerics::{dd::dd_sum, Dd};
 use gossip_reduce::reduction::{
-    AggregateKind, InitialData, Mass, Payload, PhiMode, PushCancelFlow, PushFlow,
-    ReductionProtocol,
+    AggregateKind, InitialData, Mass, Payload, PhiMode, PushCancelFlow, PushFlow, ReductionProtocol,
 };
 use gossip_reduce::topology::{hypercube, random_regular, ring, Graph, NodeId};
 use proptest::prelude::*;

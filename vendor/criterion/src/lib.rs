@@ -1,0 +1,236 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! A minimal wall-clock micro-benchmark harness exposing the API surface
+//! the workspace's benches use. No statistics, plots, or baselines —
+//! each benchmark warms up briefly, runs `sample_size` timed samples, and
+//! prints the fastest per-iteration time (the most noise-robust point
+//! estimate a simple harness can offer).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        run_bench(id, self.default_sample_size, None, f);
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I: ToBenchmarkId, F: FnMut(&mut Bencher)>(&mut self, id: I, f: F) {
+        run_bench(&id.to_benchmark_id(), self.sample_size, self.throughput, f);
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ToBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) {
+        run_bench(
+            &id.to_benchmark_id(),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// End the group (prints nothing; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait ToBenchmarkId {
+    /// The display id.
+    fn to_benchmark_id(&self) -> String;
+}
+
+impl ToBenchmarkId for BenchmarkId {
+    fn to_benchmark_id(&self) -> String {
+        self.id.clone()
+    }
+}
+
+impl ToBenchmarkId for &str {
+    fn to_benchmark_id(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Calibrate the per-sample iteration count to ~5 ms.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters =
+        (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / iters as u32;
+        if per < best {
+            best = per;
+        }
+    }
+    match throughput {
+        Some(Throughput::Elements(n)) if !best.is_zero() => {
+            let rate = n as f64 / best.as_secs_f64();
+            println!("  {id}: {best:?}/iter  ({rate:.3e} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if !best.is_zero() => {
+            let rate = n as f64 / best.as_secs_f64();
+            println!("  {id}: {best:?}/iter  ({rate:.3e} B/s)");
+        }
+        _ => println!("  {id}: {best:?}/iter"),
+    }
+}
+
+/// Bundle benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("inline", |b| b.iter(|| black_box(2u64) * 3));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

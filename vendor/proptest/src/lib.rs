@@ -1,0 +1,392 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Provides the slice of proptest the workspace's property tests use:
+//! range/tuple/vec/bool/float strategies, the `proptest!` macro, and the
+//! `prop_assert*` / `prop_assume!` family. Two deliberate differences
+//! from upstream:
+//!
+//! * **no shrinking** — a failing case reports its deterministic seed
+//!   instead of a minimized input;
+//! * **deterministic cases** — the per-case seed is a pure function of
+//!   `(module path, test name, attempt index)`, so a failure reproduces
+//!   exactly on re-run with no persistence files.
+
+use rand::prelude::*;
+use rand::SampleRange;
+
+/// Run-time configuration; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many generated cases must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs: retry with fresh ones.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An input rejection.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// A deterministic value generator.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a
+/// strategy is just a pure function of the RNG stream.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.clone().sample_single(rng)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// `proptest::bool::ANY` and friends.
+pub mod bool {
+    use super::Strategy;
+    use rand::RngCore;
+
+    /// Uniform boolean strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Either boolean, equiprobably.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+}
+
+/// Numeric special-value strategies.
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::Strategy;
+        use rand::RngCore;
+
+        /// Normal (non-zero, non-subnormal, finite) doubles of either
+        /// sign, drawn uniformly over the bit patterns that qualify.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Normal;
+
+        /// See [`Normal`].
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+                loop {
+                    let x = f64::from_bits(rng.next_u64());
+                    if x.is_normal() {
+                        return x;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::{RngCore, SampleRange};
+
+    /// Lengths accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Draw a concrete length.
+        fn pick_len<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick_len<R: RngCore + ?Sized>(&self, _rng: &mut R) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn pick_len<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            self.clone().sample_single(rng)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with strategy-chosen length.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// A vector of values from `element`, sized by `len`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<S::Value> {
+            let n = self.len.pick_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The conventional one-stop import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// FNV-1a over the identifying parts of a test case: deterministic,
+/// process-independent per-case seeds.
+pub fn case_seed(module: &str, test: &str, attempt: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in module
+        .bytes()
+        .chain(test.bytes())
+        .chain(attempt.to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub mod __private {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// The test harness macro: generates one `#[test]` per property, running
+/// it over `config.cases` generated inputs. `prop_assume!` rejections
+/// retry with fresh inputs, capped at `cases × 20` attempts.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; the config expression is
+/// threaded in at repetition depth 0 so it can repeat per test.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __max_attempts = (__config.cases as u64) * 20;
+                let mut __passed: u32 = 0;
+                let mut __attempt: u64 = 0;
+                while __passed < __config.cases {
+                    assert!(
+                        __attempt < __max_attempts,
+                        "proptest {}: too many rejected inputs ({} attempts for {} cases)",
+                        stringify!($name), __attempt, __config.cases
+                    );
+                    let __seed = $crate::case_seed(module_path!(), stringify!($name), __attempt);
+                    __attempt += 1;
+                    let mut __rng = <$crate::__private::StdRng as $crate::__private::SeedableRng>::seed_from_u64(__seed);
+                    $(let $p = $crate::Strategy::generate(&($s), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __passed += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "proptest {} failed at attempt {} (seed {:#x}):\n{}",
+                                stringify!($name), __attempt - 1, __seed, __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not
+/// panicking directly) so the harness can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Rejects the current inputs inside `proptest!`; the harness retries
+/// with fresh ones.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let a = crate::case_seed("m", "t", 0);
+        let b = crate::case_seed("m", "t", 0);
+        let c = crate::case_seed("m", "t", 1);
+        let d = crate::case_seed("m", "u", 0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3u32..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respected(
+            v in crate::collection::vec((0u32..5, 0u32..5), 2..9),
+            fixed in crate::collection::vec(0u64..10, 4usize),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert_eq!(fixed.len(), 4);
+            for (a, b) in v {
+                prop_assert!(a < 5 && b < 5);
+            }
+        }
+
+        #[test]
+        fn assume_retries(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn normal_floats_are_normal(x in crate::num::f64::NORMAL, b in crate::bool::ANY) {
+            prop_assert!(x.is_normal());
+            let _ = b;
+        }
+    }
+}

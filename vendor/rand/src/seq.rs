@@ -1,0 +1,49 @@
+//! Sequence helpers: shuffling and random element choice.
+
+use crate::{RngCore, SampleRange};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_single(rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(0..self.len()).sample_single(rng)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let v: Vec<u8> = vec![];
+        assert!(v.choose(&mut rng).is_none());
+        assert!([1].choose(&mut rng).is_some());
+    }
+}

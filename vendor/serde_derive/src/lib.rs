@@ -1,0 +1,247 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Generates `impl serde::Serialize` (the workspace's tree-building
+//! variant — see the vendored `serde` crate) for:
+//!
+//! * structs with named fields;
+//! * enums with unit, tuple, and named-field variants (externally
+//!   tagged, like upstream serde's default).
+//!
+//! Implemented directly on `proc_macro::TokenStream` — no `syn`/`quote`,
+//! since those cannot be fetched offline. Generics and `#[serde(...)]`
+//! attributes are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::str::FromStr;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let code = match parse_item(&tokens) {
+        Ok(Item::Struct { name, fields }) => gen_struct(&name, &fields),
+        Ok(Item::Enum { name, variants }) => gen_enum(&name, &variants),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    TokenStream::from_str(&code).expect("serde_derive generated invalid Rust")
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(tokens: &[TokenTree]) -> Result<Item, String> {
+    let mut i = 0;
+    skip_attrs_and_vis(tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive(Serialize): expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive(Serialize): expected item name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive(Serialize): generic type `{name}` is not supported by the vendored serde_derive"
+        ));
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => return Err(format!("derive(Serialize): `{name}` has no braced body")),
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    match keyword.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(&body)?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_variants(&body)?,
+        }),
+        other => Err(format!(
+            "derive(Serialize): cannot derive for `{other}` items"
+        )),
+    }
+}
+
+/// Skips `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits at top-level commas, tracking `<...>` angle depth so commas in
+/// generic argument lists (e.g. `BTreeMap<String, V>`) don't split fields.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level_commas(body) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => {
+                return Err(format!(
+                    "derive(Serialize): expected field name, found `{other}` (tuple structs are not supported)"
+                ))
+            }
+            None => {}
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level_commas(body) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "derive(Serialize): expected variant, found `{other}`"
+                ))
+            }
+            None => continue,
+        };
+        i += 1;
+        let kind = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Named(parse_named_fields(&inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Tuple(split_top_level_commas(&inner).len())
+            }
+            // `= discriminant` or nothing: unit variant either way.
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn fields_object(fields: &[String], access_prefix: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({access_prefix}{f}))"))
+        .collect();
+    format!("serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+fn gen_struct(name: &str, fields: &[String]) -> String {
+    let object = fields_object(fields, "&self.");
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> serde::Value {{\n\
+         \x20       {object}\n\
+         \x20   }}\n\
+         }}"
+    )
+}
+
+fn gen_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let arm = match &v.kind {
+            VariantKind::Unit => format!(
+                "{name}::{vname} => serde::Value::String({vname:?}.to_string()),\n"
+            ),
+            VariantKind::Tuple(1) => format!(
+                "{name}::{vname}(f0) => serde::Value::Object(vec![({vname:?}.to_string(), serde::Serialize::to_value(f0))]),\n"
+            ),
+            VariantKind::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+                let elems: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({binds}) => serde::Value::Object(vec![({vname:?}.to_string(), serde::Value::Array(vec![{elems}]))]),\n",
+                    binds = binders.join(", "),
+                    elems = elems.join(", ")
+                )
+            }
+            VariantKind::Named(fields) => {
+                let binds = fields.join(", ");
+                let object = fields_object(fields, "");
+                format!(
+                    "{name}::{vname} {{ {binds} }} => serde::Value::Object(vec![({vname:?}.to_string(), {object})]),\n"
+                )
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> serde::Value {{\n\
+         \x20       match self {{\n\
+         {arms}\
+         \x20       }}\n\
+         \x20   }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,158 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Renders and parses the [`Value`] tree defined in the vendored `serde`
+//! crate. Object key order is preserved end to end, so serializing the
+//! same data twice yields byte-identical text — a property the campaign
+//! harness's determinism checks rely on.
+
+use std::fmt;
+
+pub use serde::Value;
+
+mod parse;
+
+#[doc(hidden)]
+pub mod __private {
+    pub use serde::{Serialize, Value};
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value to a [`Value`] tree.
+///
+/// Infallible in this implementation; the `Result` keeps call sites
+/// source-compatible with upstream serde_json.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Pretty JSON text: two-space indent, newline-separated members.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    const STEP: &str = "  ";
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&STEP.repeat(indent + 1));
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&STEP.repeat(indent + 1));
+                out.push_str(&Value::String(k.clone()).to_string());
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+/// Parses JSON text into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    parse::parse(s)
+}
+
+/// Builds a [`Value`] in place.
+///
+/// Supports the object, array, and lone-expression forms the workspace
+/// uses; not a full port of upstream's TT-muncher.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(vec![]) };
+    ({ $($key:literal : $val:expr),+ $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::__private::Serialize::to_value(&$val)) ),+
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![
+            $( $crate::__private::Serialize::to_value(&$val) ),*
+        ])
+    };
+    ($val:expr) => { $crate::__private::Serialize::to_value(&$val) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_forms() {
+        assert_eq!(json!({}), Value::Object(vec![]));
+        assert_eq!(json!(null), Value::Null);
+        let v = json!({
+            "a": 1u32,
+            "b": vec!["x".to_string()],
+        });
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"][0], "x");
+        assert_eq!(json!([1u8, 2u8])[1], 2);
+    }
+
+    #[test]
+    fn pretty_roundtrip() {
+        let v = json!({
+            "name": "t",
+            "rows": vec![json!({"n": 8usize}), json!({"n": 64usize})],
+            "empty": json!({}),
+        });
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"rows\": [\n"));
+        let back = from_str(&text).unwrap();
+        assert_eq!(back["rows"][1]["n"], 64);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn compact_deterministic() {
+        let a = to_string(&json!({"z": 1u8, "a": 2u8})).unwrap();
+        assert_eq!(a, r#"{"z":1,"a":2}"#);
+    }
+}
