@@ -1,0 +1,105 @@
+//! Decompose `sim_step` cost: transport-only vs. protocol-only.
+//!
+//! Runs three measurements on the same topology and seed so their ratio
+//! is meaningful even on machines with drifting clock speed:
+//!
+//! * `noop`: the full simulator driving a protocol whose handlers do
+//!   nothing — isolates the transport loop (schedule, buckets, transit,
+//!   stats).
+//! * `pcf-direct` / `pf-direct`: protocol handlers invoked back-to-back
+//!   with a pre-generated random exchange sequence, no simulator —
+//!   isolates the protocol arithmetic and its memory traffic.
+//!
+//! `cargo run --release -p gr-bench --example hotloop_breakdown [dim]`
+
+use gr_netsim::{FaultPlan, Protocol, Simulator};
+use gr_reduction::{AggregateKind, InitialData, PushCancelFlow, PushFlow};
+use gr_topology::{hypercube, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+struct Noop;
+impl Protocol for Noop {
+    type Msg = f64;
+    fn on_send(&mut self, node: NodeId, _target: NodeId) -> f64 {
+        node as f64
+    }
+    fn on_receive(&mut self, _node: NodeId, _from: NodeId, _msg: &mut f64) {}
+}
+
+fn main() {
+    let dim: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("dim must be an integer"))
+        .unwrap_or(10);
+    let g = hypercube(dim);
+    let n = g.len();
+    let data = InitialData::uniform_random(n, AggregateKind::Average, 1);
+    let rounds = 2048u64 >> dim.saturating_sub(6).min(8);
+    let rounds = rounds.max(64);
+
+    // Pre-generated exchange sequence shared by the direct measurements.
+    let mut rng = StdRng::seed_from_u64(7);
+    let pairs: Vec<(NodeId, NodeId)> = (0..n as u64 * rounds)
+        .map(|_| {
+            let i = rng.random_range(0..n as u32);
+            let nbrs = g.neighbors(i);
+            (i, nbrs[rng.random_range(0..nbrs.len())])
+        })
+        .collect();
+
+    let time = |label: &str, f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_nanos() as f64);
+        }
+        println!(
+            "  {label:<12} {:8.1} ns/msg",
+            best / (n as u64 * rounds) as f64
+        );
+    };
+
+    println!("hypercube-{dim} ({n} nodes), {rounds} rounds per block:");
+    time("noop-sim", &mut || {
+        let mut sim = Simulator::new(&g, Noop, FaultPlan::none(), 1);
+        sim.run(rounds);
+    });
+    time("pf-sim", &mut || {
+        let mut sim = Simulator::new(&g, PushFlow::new(&g, &data), FaultPlan::none(), 1);
+        sim.run(rounds);
+    });
+    time("pcf-sim", &mut || {
+        let mut sim = Simulator::new(&g, PushCancelFlow::new(&g, &data), FaultPlan::none(), 1);
+        sim.run(rounds);
+    });
+    // Converged steady state (what bench-report measures): warm past the
+    // transient, then time. The cancellation handshake dominates here.
+    let mut warmed = Simulator::new(&g, PushCancelFlow::new(&g, &data), FaultPlan::none(), 1);
+    warmed.run(256);
+    time("pcf-warmed", &mut || {
+        warmed.run(rounds);
+    });
+    time("pf-direct", &mut || {
+        let mut p = PushFlow::new(&g, &data);
+        for &(i, k) in &pairs {
+            let mut msg = p.on_send(i, k);
+            p.on_receive(k, i, &mut msg);
+        }
+    });
+    time("pcf-direct", &mut || {
+        let mut p = PushCancelFlow::new(&g, &data);
+        for &(i, k) in &pairs {
+            let mut msg = p.on_send(i, k);
+            p.on_receive(k, i, &mut msg);
+        }
+    });
+    time("pcf-send", &mut || {
+        let mut p = PushCancelFlow::new(&g, &data);
+        for &(i, k) in &pairs {
+            std::hint::black_box(p.on_send(i, k));
+        }
+    });
+}

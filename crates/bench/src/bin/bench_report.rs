@@ -1,0 +1,252 @@
+//! `bench-report` — the machine-readable performance baseline.
+//!
+//! Times the simulator's hot kernels (one synchronous round of PF / PCF /
+//! FU on hypercubes of dimension 6/8/10, fault-free and under a stress
+//! plan) on a pinned workload and emits `BENCH_2.json` in a stable
+//! schema. CI runs it against the committed baseline and fails on any
+//! regression beyond the tolerance; refreshing the baseline is a
+//! deliberate `bench-report --out BENCH_2.json` + commit.
+//!
+//! ```text
+//! bench-report                                   # write ./BENCH_2.json
+//! bench-report --out cur.json --baseline BENCH_2.json --tolerance 0.25
+//! bench-report --blocks 8                        # quicker, noisier
+//! ```
+//!
+//! Methodology: per kernel, warm the simulator past its fault window so
+//! measurement sees the steady state, then time `--blocks` blocks of a
+//! dimension-pinned round count and keep the fastest block (the same
+//! min-estimator as the vendored criterion — robust against scheduler
+//! noise, which only ever slows a block down).
+
+use gr_experiments::Opts;
+use gr_netsim::{FaultPlan, LinkFailure, NodeCrash, Protocol, Simulator};
+use gr_reduction::{AggregateKind, FlowUpdating, InitialData, PushCancelFlow, PushFlow};
+use gr_topology::{hypercube, Graph};
+use serde_json::Value;
+use std::time::Instant;
+
+/// Master seed for every kernel's workload, schedule and fault streams.
+const SEED: u64 = 1;
+
+/// One measured kernel.
+struct Kernel {
+    name: String,
+    ns_per_round: f64,
+}
+
+/// The stress plan: probabilistic loss + bit flips, two link failures and
+/// one crash with a detection lag — all scheduled inside the warmup
+/// window, so timed blocks see the post-fault steady state.
+fn stress_plan() -> FaultPlan {
+    FaultPlan {
+        msg_loss_prob: 0.05,
+        bit_flip_prob: 1e-3,
+        link_failures: vec![
+            LinkFailure {
+                a: 0,
+                b: 1,
+                at_round: 8,
+                detect_delay: 4,
+            },
+            LinkFailure {
+                a: 2,
+                b: 3,
+                at_round: 16,
+                detect_delay: 4,
+            },
+        ],
+        node_crashes: vec![NodeCrash {
+            node: 5,
+            at_round: 24,
+            detect_delay: 4,
+        }],
+    }
+}
+
+/// Rounds per timed block, pinned per hypercube dimension so every block
+/// lands in the low-millisecond range.
+fn rounds_per_block(dim: u32) -> u64 {
+    match dim {
+        6 => 256,
+        8 => 64,
+        _ => 16,
+    }
+}
+
+/// Time `sim.step()` over `blocks` blocks and return the fastest block's
+/// ns/round.
+fn time_steps<P: Protocol>(
+    sim: &mut Simulator<'_, P>,
+    rounds: u64,
+    blocks: usize,
+    warmup: u64,
+) -> f64 {
+    sim.run(warmup);
+    let mut best = f64::INFINITY;
+    for _ in 0..blocks {
+        let start = Instant::now();
+        sim.run(rounds);
+        let ns = start.elapsed().as_nanos() as f64 / rounds as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn measure(
+    graph: &Graph,
+    data: &InitialData<f64>,
+    alg: &str,
+    plan: FaultPlan,
+    blocks: usize,
+) -> f64 {
+    let dim = graph.len().trailing_zeros();
+    let rounds = rounds_per_block(dim);
+    let warmup = rounds.max(64);
+    match alg {
+        "pf" => time_steps(
+            &mut Simulator::new(graph, PushFlow::new(graph, data), plan, SEED),
+            rounds,
+            blocks,
+            warmup,
+        ),
+        "pcf" => time_steps(
+            &mut Simulator::new(graph, PushCancelFlow::new(graph, data), plan, SEED),
+            rounds,
+            blocks,
+            warmup,
+        ),
+        "fu" => time_steps(
+            &mut Simulator::new(graph, FlowUpdating::new(graph, data), plan, SEED),
+            rounds,
+            blocks,
+            warmup,
+        ),
+        other => panic!("unknown algorithm {other:?}"),
+    }
+}
+
+fn run_all(blocks: usize, only: &str) -> Vec<Kernel> {
+    let mut kernels = Vec::new();
+    for dim in [6u32, 8, 10] {
+        let graph = hypercube(dim);
+        let data = InitialData::uniform_random(graph.len(), AggregateKind::Average, SEED);
+        for alg in ["pf", "pcf", "fu"] {
+            for (plan_name, plan) in [("clean", FaultPlan::none()), ("stress", stress_plan())] {
+                let name = format!("sim_step/{alg}/hc{dim}/{plan_name}");
+                if !only.is_empty() && !name.contains(only) {
+                    continue;
+                }
+                let ns = measure(&graph, &data, alg, plan, blocks);
+                println!("  {name}: {ns:.1} ns/round");
+                kernels.push(Kernel {
+                    name,
+                    ns_per_round: ns,
+                });
+            }
+        }
+    }
+    kernels
+}
+
+fn report_json(kernels: &[Kernel], blocks: usize) -> Value {
+    let entries: Vec<Value> = kernels
+        .iter()
+        .map(|k| {
+            Value::Object(vec![
+                ("name".to_string(), Value::String(k.name.clone())),
+                (
+                    "ns_per_round".to_string(),
+                    serde_json::to_value(k.ns_per_round).unwrap(),
+                ),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::String("gr-bench-report/v1".to_string()),
+        ),
+        ("seed".to_string(), serde_json::to_value(SEED).unwrap()),
+        (
+            "blocks".to_string(),
+            serde_json::to_value(blocks as u64).unwrap(),
+        ),
+        ("kernels".to_string(), Value::Array(entries)),
+    ])
+}
+
+/// Compare against a committed baseline; returns the regression lines.
+fn compare(kernels: &[Kernel], baseline: &Value, tolerance: f64) -> Vec<String> {
+    let base_kernels = baseline["kernels"]
+        .as_array()
+        .expect("baseline has a kernels array");
+    let mut regressions = Vec::new();
+    for b in base_kernels {
+        let name = b["name"].as_str().expect("kernel name");
+        let base_ns = b["ns_per_round"].as_f64().expect("kernel ns_per_round");
+        match kernels.iter().find(|k| k.name == name) {
+            None => regressions.push(format!("tracked kernel {name} disappeared")),
+            Some(k) => {
+                let ratio = k.ns_per_round / base_ns;
+                let verdict = if ratio > 1.0 + tolerance {
+                    regressions.push(format!(
+                        "{name}: {base_ns:.1} -> {:.1} ns/round ({:+.1}%)",
+                        k.ns_per_round,
+                        (ratio - 1.0) * 100.0
+                    ));
+                    "REGRESSION"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  {name}: baseline {base_ns:.1} current {:.1} ns/round ({:+.1}%) {verdict}",
+                    k.ns_per_round,
+                    (ratio - 1.0) * 100.0
+                );
+            }
+        }
+    }
+    regressions
+}
+
+fn main() {
+    let opts = Opts::from_env();
+    let out = opts.string("out", "BENCH_2.json");
+    let baseline_path = opts.string("baseline", "");
+    let tolerance = opts.f64("tolerance", 0.25);
+    let blocks = opts.u64("blocks", 24) as usize;
+    let only = opts.string("only", "");
+    opts.finish();
+    assert!(blocks >= 1, "--blocks must be at least 1");
+    assert!(tolerance >= 0.0, "--tolerance must be non-negative");
+
+    println!("bench-report: timing kernels (filter: {only:?})");
+    let kernels = run_all(blocks, &only);
+    assert!(!kernels.is_empty(), "--only {only:?} matched no kernel");
+
+    let json = serde_json::to_string_pretty(&report_json(&kernels, blocks)).unwrap();
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("writing {out:?}: {e}"));
+    println!("wrote {out}");
+
+    if !baseline_path.is_empty() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {baseline_path:?}: {e}"));
+        let baseline = serde_json::from_str(&text).expect("baseline parses as JSON");
+        println!(
+            "comparing against {baseline_path} (tolerance {:.0}%):",
+            tolerance * 100.0
+        );
+        let regressions = compare(&kernels, &baseline, tolerance);
+        if !regressions.is_empty() {
+            eprintln!("performance regressions beyond {:.0}%:", tolerance * 100.0);
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        println!("no kernel regressed beyond {:.0}%", tolerance * 100.0);
+    }
+}

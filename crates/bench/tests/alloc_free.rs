@@ -1,0 +1,68 @@
+//! Proof that the simulator's steady-state round loop is allocation-free.
+//!
+//! A counting shim around the system allocator is installed as the global
+//! allocator for this (single-test) binary; the test warms a fault-free
+//! PCF run past the transient — delivery buckets at capacity, believed
+//! lists built, the protocol converged into its fold steady state — then
+//! counts heap traffic across 1000 further rounds. The count must be
+//! exactly zero: one stray `Vec` in the per-message path would show up
+//! here as thousands of allocations.
+//!
+//! The file holds exactly one `#[test]` so no concurrent harness thread
+//! can pollute the counter.
+
+use gr_netsim::{FaultPlan, Simulator};
+use gr_reduction::{AggregateKind, InitialData, PushCancelFlow};
+use gr_topology::hypercube;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Forwards to [`System`], counting `alloc`/`realloc` calls while armed.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_rounds_do_not_allocate() {
+    let g = hypercube(6);
+    let data = InitialData::uniform_random(g.len(), AggregateKind::Average, 1);
+    let mut sim = Simulator::new(&g, PushCancelFlow::new(&g, &data), FaultPlan::none(), 1);
+
+    // Warm-up: grow the delivery buckets to their steady-state capacity
+    // and let the PCF fold handshake settle into its periodic regime.
+    sim.run(64);
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    sim.run(1000);
+    COUNTING.store(false, Ordering::SeqCst);
+
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(n, 0, "steady-state hot loop performed {n} heap allocations");
+    // The rounds actually ran.
+    assert_eq!(sim.stats().rounds, 1064);
+}

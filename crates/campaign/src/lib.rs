@@ -43,6 +43,6 @@ pub use oracle::{Invariant, Oracle, Violation};
 pub use report::{find_scenario, render_replay, run_campaign, CampaignReport};
 pub use runner::{run_scenario, run_scenario_traced, ScenarioResult, CHECK_EVERY};
 pub use scenario::{
-    sanity_corpus, stress_corpus, Lane, Scenario, TopologyKind, DEFAULT_SANITY_SEEDS,
+    sanity_corpus, shard_corpus, stress_corpus, Lane, Scenario, TopologyKind, DEFAULT_SANITY_SEEDS,
     DEFAULT_STRESS_SEEDS,
 };

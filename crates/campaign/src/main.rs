@@ -4,13 +4,14 @@
 //! gr-campaign --mode sanity                 # hard CI gate (exit 1 on violation)
 //! gr-campaign --mode stress                 # trend lane (always exit 0)
 //! gr-campaign --mode stress --seeds 5       # widen the seed corpus to 1..=5
+//! gr-campaign --mode stress --shard 2/4     # run only the 2nd of 4 corpus shards
 //! gr-campaign --mode stress --replay <fp>   # re-run one fingerprint, dump trace tail
 //! gr-campaign --mode sanity --list          # print the corpus without running it
 //! gr-campaign --mode sanity --json out.json # also write the machine-readable report
 //! ```
 
 use gr_campaign::{
-    find_scenario, render_replay, run_campaign, sanity_corpus, stress_corpus, Lane,
+    find_scenario, render_replay, run_campaign, sanity_corpus, shard_corpus, stress_corpus, Lane,
     DEFAULT_SANITY_SEEDS, DEFAULT_STRESS_SEEDS,
 };
 use gr_experiments::parallel::default_threads;
@@ -38,7 +39,7 @@ fn main() {
         Lane::Sanity => sanity_corpus(&seeds),
         Lane::Stress => stress_corpus(&seeds),
     };
-
+    let shard = opts.string("shard", "");
     let replay = opts.string("replay", "");
     let tail = opts.u64("tail", 64) as usize;
     let list = opts.bool("list", false);
@@ -46,14 +47,9 @@ fn main() {
     let json_path = opts.string("json", "");
     opts.finish();
 
-    if list {
-        for sc in &corpus {
-            println!("{}  {}", sc.hash(), sc.canonical());
-        }
-        return;
-    }
-
     if !replay.is_empty() {
+        // Replay resolves against the *full* corpus, so a fingerprint from
+        // any shard's report replays without re-deriving its shard.
         let sc = find_scenario(&corpus, &replay).unwrap_or_else(|| {
             panic!(
                 "fingerprint {replay:?} not found in the {} corpus ({} scenarios); \
@@ -63,6 +59,31 @@ fn main() {
             )
         });
         print!("{}", render_replay(sc, tail));
+        return;
+    }
+
+    // --shard k/n (1-based k) keeps only the k-th round-robin shard of the
+    // corpus, for splitting a lane across CI jobs.
+    let corpus = if shard.is_empty() {
+        corpus
+    } else {
+        let (k, n) = shard
+            .split_once('/')
+            .and_then(|(k, n)| {
+                Some((
+                    k.trim().parse::<usize>().ok()?,
+                    n.trim().parse::<usize>().ok()?,
+                ))
+            })
+            .filter(|&(k, n)| k >= 1 && k <= n)
+            .unwrap_or_else(|| panic!("--shard must be k/n with 1 <= k <= n, got {shard:?}"));
+        shard_corpus(&corpus, k - 1, n)
+    };
+
+    if list {
+        for sc in &corpus {
+            println!("{}  {}", sc.hash(), sc.canonical());
+        }
         return;
     }
 

@@ -198,7 +198,7 @@ pub fn render_replay(sc: &Scenario, tail: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::sanity_corpus;
+    use crate::scenario::{sanity_corpus, shard_corpus};
 
     #[test]
     fn report_renders_and_round_trips_fingerprints() {
@@ -216,6 +216,35 @@ mod tests {
             let sc = find_scenario(&corpus, &r.hash).expect("fingerprint resolves");
             assert_eq!(sc.hash(), r.hash);
         }
+    }
+
+    #[test]
+    fn sharded_reports_merge_to_the_unsharded_report() {
+        let corpus = sanity_corpus(&[1]);
+        let full = run_campaign(Lane::Sanity, &corpus, 2);
+
+        // Run each shard separately, then interleave the shard results
+        // round-robin (scenario `i` lives in shard `i mod n` at in-shard
+        // position `i / n`) and compare the merged report byte-for-byte.
+        let n = 3;
+        let shard_reports: Vec<CampaignReport> = (0..n)
+            .map(|k| run_campaign(Lane::Sanity, &shard_corpus(&corpus, k, n), 2))
+            .collect();
+        assert_eq!(
+            shard_reports.iter().map(|r| r.results.len()).sum::<usize>(),
+            corpus.len()
+        );
+        let merged = CampaignReport {
+            lane: Lane::Sanity,
+            results: (0..corpus.len())
+                .map(|i| shard_reports[i % n].results[i / n].clone())
+                .collect(),
+        };
+        assert_eq!(merged.render(), full.render());
+        assert_eq!(
+            serde_json::to_string(&merged.to_json()).unwrap(),
+            serde_json::to_string(&full.to_json()).unwrap()
+        );
     }
 
     #[test]

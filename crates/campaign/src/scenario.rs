@@ -324,6 +324,28 @@ fn place_faults(
     (link_failures, crashes)
 }
 
+/// The `k`-th of `n` deterministic shards of a corpus (`k` is 0-based),
+/// for splitting a campaign across CI jobs. Scenario `i` goes to shard
+/// `i mod n`: round-robin balances templates, algorithms and seeds across
+/// shards (a contiguous split would give one job all the expensive
+/// topologies), and the shard is a pure function of `(corpus, k, n)`.
+/// Corpus order is preserved within a shard, so interleaving the shard
+/// reports round-robin reconstructs the unsharded report exactly — the
+/// merge-equality test in `report.rs` pins that.
+///
+/// # Panics
+/// Panics if `n == 0` or `k >= n`.
+pub fn shard_corpus(corpus: &[Scenario], k: usize, n: usize) -> Vec<Scenario> {
+    assert!(n > 0, "shard count must be positive");
+    assert!(k < n, "shard index {k} out of range for {n} shards");
+    corpus
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % n == k)
+        .map(|(_, sc)| sc.clone())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

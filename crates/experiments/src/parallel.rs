@@ -14,7 +14,9 @@ use std::sync::Mutex;
 /// runs inline with zero overhead.
 ///
 /// # Panics
-/// Propagates the first worker panic.
+/// Re-raises the first worker panic on the calling thread with its
+/// original payload (via [`std::panic::resume_unwind`]), so a
+/// `panic!("boom")` inside `f` surfaces as "boom" to the caller.
 pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -27,11 +29,21 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    // Slots are claimed via an atomic cursor; each worker takes the next
-    // unclaimed index. Items are moved into Option slots so workers can
-    // take ownership without cloning.
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Workers claim whole chunks through one shared atomic cursor and then
+    // work through the chunk's own disjoint `&mut` slices — one
+    // synchronisation per chunk instead of two mutex round-trips per item,
+    // and results land in input order by construction. Chunks are a
+    // fraction of `n / threads` so stragglers can still steal work from a
+    // slow neighbor.
+    let mut items: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = (n / (threads * 4)).max(1);
+    type Task<'a, T, R> = Mutex<Option<(&'a mut [Option<T>], &'a mut [Option<R>])>>;
+    let tasks: Vec<Task<'_, T, R>> = items
+        .chunks_mut(chunk)
+        .zip(results.chunks_mut(chunk))
+        .map(|pair| Mutex::new(Some(pair)))
+        .collect();
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -39,25 +51,26 @@ where
             .map(|_| {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                    let Some(task) = tasks.get(i) else { break };
+                    let (inp, out) = task.lock().unwrap().take().expect("chunk claimed twice");
+                    for (slot, res) in inp.iter_mut().zip(out.iter_mut()) {
+                        let item = slot.take().expect("item taken twice");
+                        *res = Some(f(item));
                     }
-                    let item = work[i].lock().unwrap().take().expect("slot claimed twice");
-                    let r = f(item);
-                    *results[i].lock().unwrap() = Some(r);
                 })
             })
             .collect();
         for h in handles {
-            if h.join().is_err() {
-                panic!("worker thread panicked");
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
             }
         }
     });
 
+    drop(tasks);
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("missing result"))
+        .map(|r| r.expect("missing result"))
         .collect()
 }
 
@@ -106,7 +119,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker thread panicked")]
+    #[should_panic(expected = "boom")]
     fn panic_propagates() {
         let _ = par_map(vec![0, 1, 2, 3], 2, |x| {
             if x == 2 {

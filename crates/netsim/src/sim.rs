@@ -1,6 +1,6 @@
 //! The round-driven simulator core.
 
-use crate::faults::{Corrupt, FaultPlan};
+use crate::faults::{Corrupt, FaultPlan, LinkFailure, NodeCrash};
 use crate::options::{Activation, DelayModel, SimOptions};
 use crate::rng::{stream_rng, RngStream};
 use crate::schedule::Schedule;
@@ -8,7 +8,6 @@ use crate::trace::{Event, Trace};
 use gr_topology::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::RngExt;
-use std::collections::HashSet;
 
 /// A gossip protocol as seen by the simulator.
 ///
@@ -26,8 +25,24 @@ pub trait Protocol {
     /// neighbor chosen by the schedule) and returns the message to ship.
     fn on_send(&mut self, node: NodeId, target: NodeId) -> Self::Msg;
 
-    /// Node `node` processes a message that arrived from `from`.
-    fn on_receive(&mut self, node: NodeId, from: NodeId, msg: Self::Msg);
+    /// Node `node` processes a message that arrived from `from`. The
+    /// message is passed by mutable reference so delivery reads it in
+    /// place from the transport buffer (no per-message move of large
+    /// payloads); protocols that want to keep (parts of) it may steal the
+    /// contents with `std::mem::take`/`replace` — the buffer slot is dead
+    /// after the call either way.
+    fn on_receive(&mut self, node: NodeId, from: NodeId, msg: &mut Self::Msg);
+
+    /// Hint that `on_receive(node, from, _)` is about to run. The delivery
+    /// loop calls this a few messages ahead so implementations can prefetch
+    /// the per-arc state the handler will touch — receivers arrive in
+    /// random order, so those accesses otherwise stall on a cache miss
+    /// right on the critical path. Must not mutate observable state.
+    /// Default: do nothing.
+    #[inline]
+    fn prewarm(&self, node: NodeId, from: NodeId) {
+        let _ = (node, from);
+    }
 
     /// Node `node` has detected that the link to `neighbor` is permanently
     /// gone and should run its failure handling (PF/PCF: excise the flow
@@ -72,6 +87,17 @@ struct Detection {
     neighbor: NodeId,
 }
 
+/// Snapshot a plan's scheduled events into fire-order queues. The sort is
+/// stable, so events sharing an `at_round` fire in plan order — exactly
+/// the order the old per-round scan produced.
+fn sorted_queues(plan: &FaultPlan) -> (Vec<LinkFailure>, Vec<NodeCrash>) {
+    let mut links = plan.link_failures.clone();
+    links.sort_by_key(|f| f.at_round);
+    let mut crashes = plan.node_crashes.clone();
+    crashes.sort_by_key(|c| c.at_round);
+    (links, crashes)
+}
+
 /// The simulator: drives a [`Protocol`] over a [`Graph`] under a
 /// [`FaultPlan`].
 pub struct Simulator<'g, P: Protocol> {
@@ -81,14 +107,34 @@ pub struct Simulator<'g, P: Protocol> {
     schedule_rng: StdRng,
     fault_rng: StdRng,
     plan: FaultPlan,
+    /// Scheduled link failures, stable-sorted by `at_round` at
+    /// construction; `link_cursor` points at the first unfired event, so
+    /// firing is a cursor advance instead of a per-round scan+collect.
+    link_queue: Vec<LinkFailure>,
+    link_cursor: usize,
+    /// Scheduled crashes, same discipline as `link_queue`.
+    crash_queue: Vec<NodeCrash>,
+    crash_cursor: usize,
     round: u64,
     alive_node: Vec<bool>,
-    /// Believed-alive neighbor lists (shrink on detection), kept sorted.
-    believed: Vec<Vec<NodeId>>,
-    /// Physically dead links, canonical `(min, max)` keys.
-    dead_links: HashSet<(NodeId, NodeId)>,
-    /// Detections not yet delivered, unordered (scanned each round; plans
-    /// hold a handful of events at most).
+    /// Believed-alive neighbor lists (shrink on detection), kept sorted,
+    /// stored flat in the graph's CSR layout: node `i`'s list lives at
+    /// `believed_flat[arc_base(i)..][..believed_len[i]]`. Lists only ever
+    /// shrink, so each segment stays within its original extent — and the
+    /// per-round schedule pick reads straight from one flat array instead
+    /// of chasing a per-node `Vec` header.
+    believed_flat: Vec<NodeId>,
+    believed_len: Vec<u32>,
+    /// Per-arc dead bits (`arc_base(i) + neighbor_slot(i, j)`), both
+    /// directions set when a link dies: an O(log deg) bitmask probe per
+    /// message instead of a `HashSet` hash+lookup.
+    dead_arcs: Vec<u64>,
+    /// False until the first crash or link death fires; lets `transit`
+    /// skip every liveness check on the healthy path.
+    physical_faults: bool,
+    /// Detections not yet delivered, kept sorted descending by
+    /// `(round, node, neighbor)` so delivery pops due events off the end
+    /// in deterministic order without a per-round sort or allocation.
     pending_detections: Vec<Detection>,
     activation: Activation,
     delay: DelayModel,
@@ -96,8 +142,10 @@ pub struct Simulator<'g, P: Protocol> {
     /// round `r`, in send order. With the default zero-delay model this
     /// is a single reused buffer.
     buckets: Vec<Vec<(NodeId, NodeId, P::Msg)>>,
-    /// Scratch list of alive node ids (async activation sampling).
+    /// Scratch list of alive node ids (async activation sampling),
+    /// rebuilt only after a crash invalidates it.
     alive_scratch: Vec<NodeId>,
+    alive_scratch_dirty: bool,
     /// Optional bounded event recorder (see [`Simulator::enable_trace`]).
     trace: Option<Trace>,
     /// Optional per-arc delivered-message counters
@@ -145,9 +193,10 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         options: SimOptions,
     ) -> Self {
         let n = graph.len();
-        let believed = (0..n as NodeId)
-            .map(|i| graph.neighbors(i).to_vec())
+        let believed_flat: Vec<NodeId> = (0..n as NodeId)
+            .flat_map(|i| graph.neighbors(i).iter().copied())
             .collect();
+        let believed_len = (0..n as NodeId).map(|i| graph.degree(i) as u32).collect();
         assert!(
             options.activation == Activation::Synchronous || options.delay.max_delay() == 0,
             "asynchronous activation requires the zero-delay model"
@@ -155,6 +204,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         let buckets = (0..options.delay.max_delay() + 1)
             .map(|_| Vec::new())
             .collect();
+        let (link_queue, crash_queue) = sorted_queues(&plan);
         Simulator {
             graph,
             protocol,
@@ -162,15 +212,22 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             schedule_rng: stream_rng(seed, RngStream::Schedule),
             fault_rng: stream_rng(seed, RngStream::Faults),
             plan,
+            link_queue,
+            link_cursor: 0,
+            crash_queue,
+            crash_cursor: 0,
             round: 0,
             alive_node: vec![true; n],
-            believed,
-            dead_links: HashSet::new(),
+            believed_flat,
+            believed_len,
+            dead_arcs: vec![0; graph.arc_count().div_ceil(64)],
+            physical_faults: false,
             pending_detections: Vec::new(),
             activation: options.activation,
             delay: options.delay,
             buckets,
             alive_scratch: Vec::new(),
+            alive_scratch_dirty: true,
             trace: None,
             link_load: None,
             stats: SimStats::default(),
@@ -244,18 +301,51 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// The believed-alive neighbor list of `node` (shrinks as failures are
     /// detected).
     pub fn believed_alive(&self, node: NodeId) -> &[NodeId] {
-        &self.believed[node as usize]
+        let base = self.graph.arc_base(node);
+        &self.believed_flat[base..base + self.believed_len[node as usize] as usize]
     }
 
-    fn canonical(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
-        (a.min(b), a.max(b))
+    /// Mark the arcs of link `(a, b)` physically dead, both directions.
+    fn mark_link_dead(&mut self, a: NodeId, b: NodeId) {
+        self.physical_faults = true;
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(slot) = self.graph.neighbor_slot(x, y) {
+                let arc = self.graph.arc_base(x) + slot;
+                self.dead_arcs[arc / 64] |= 1 << (arc % 64);
+            }
+        }
+    }
+
+    #[inline]
+    fn arc_is_dead(&self, src: NodeId, dst: NodeId) -> bool {
+        match self.graph.neighbor_slot(src, dst) {
+            Some(slot) => {
+                let arc = self.graph.arc_base(src) + slot;
+                self.dead_arcs[arc / 64] & (1 << (arc % 64)) != 0
+            }
+            None => false,
+        }
+    }
+
+    /// Insert keeping `pending_detections` sorted descending by
+    /// `(round, node, neighbor)`; plans hold a handful of events, so the
+    /// shift is cheap and only the fault window ever allocates.
+    fn push_detection(&mut self, d: Detection) {
+        let key = (d.round, d.node, d.neighbor);
+        let pos = self
+            .pending_detections
+            .partition_point(|p| (p.round, p.node, p.neighbor) > key);
+        self.pending_detections.insert(pos, d);
     }
 
     fn remove_believed(&mut self, node: NodeId, neighbor: NodeId) -> bool {
-        let list = &mut self.believed[node as usize];
+        let base = self.graph.arc_base(node);
+        let len = self.believed_len[node as usize] as usize;
+        let list = &mut self.believed_flat[base..base + len];
         match list.binary_search(&neighbor) {
             Ok(pos) => {
-                list.remove(pos);
+                list.copy_within(pos + 1.., pos);
+                self.believed_len[node as usize] = (len - 1) as u32;
                 true
             }
             Err(_) => false,
@@ -263,18 +353,18 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     }
 
     /// Phase 1: fire physical faults scheduled for this round and enqueue
-    /// their detections.
+    /// their detections. The queues are pre-sorted by `at_round`, so this
+    /// is a cursor advance — zero work and zero allocation on rounds with
+    /// nothing scheduled.
     fn fire_scheduled_faults(&mut self) {
         let round = self.round;
         // Link failures.
-        let links: Vec<_> = self
-            .plan
-            .link_failures
-            .iter()
-            .filter(|f| f.at_round == round)
-            .copied()
-            .collect();
-        for f in links {
+        while let Some(&f) = self.link_queue.get(self.link_cursor) {
+            if f.at_round > round {
+                break;
+            }
+            debug_assert_eq!(f.at_round, round);
+            self.link_cursor += 1;
             assert!(
                 self.graph.has_edge(f.a, f.b),
                 "fault plan kills nonexistent link ({}, {})",
@@ -286,36 +376,37 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 a: f.a,
                 b: f.b,
             });
-            self.dead_links.insert(Self::canonical(f.a, f.b));
+            self.mark_link_dead(f.a, f.b);
             let at = round + f.detect_delay;
-            self.pending_detections.push(Detection {
+            self.push_detection(Detection {
                 round: at,
                 node: f.a,
                 neighbor: f.b,
             });
-            self.pending_detections.push(Detection {
+            self.push_detection(Detection {
                 round: at,
                 node: f.b,
                 neighbor: f.a,
             });
         }
         // Node crashes.
-        let crashes: Vec<_> = self
-            .plan
-            .node_crashes
-            .iter()
-            .filter(|c| c.at_round == round)
-            .copied()
-            .collect();
-        for c in crashes {
+        while let Some(&c) = self.crash_queue.get(self.crash_cursor) {
+            if c.at_round > round {
+                break;
+            }
+            debug_assert_eq!(c.at_round, round);
+            self.crash_cursor += 1;
             self.record(Event::NodeCrashed {
                 round,
                 node: c.node,
             });
             self.alive_node[c.node as usize] = false;
+            self.physical_faults = true;
+            self.alive_scratch_dirty = true;
             let at = round + c.detect_delay;
-            for &j in self.graph.neighbors(c.node) {
-                self.pending_detections.push(Detection {
+            let graph = self.graph;
+            for &j in graph.neighbors(c.node) {
+                self.push_detection(Detection {
                     round: at,
                     node: j,
                     neighbor: c.node,
@@ -324,21 +415,19 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         }
     }
 
-    /// Phase 2: deliver due detections to alive endpoints.
+    /// Phase 2: deliver due detections to alive endpoints. The queue is
+    /// sorted descending, so everything due pops off the end already in
+    /// the deterministic `(node, neighbor)` handling order.
     fn deliver_detections(&mut self) {
+        if self.pending_detections.is_empty() {
+            return;
+        }
         let round = self.round;
-        let mut due = Vec::new();
-        self.pending_detections.retain(|d| {
-            if d.round <= round {
-                due.push(*d);
-                false
-            } else {
-                true
+        while let Some(&d) = self.pending_detections.last() {
+            if d.round > round {
+                break;
             }
-        });
-        // Deterministic handling order.
-        due.sort_by_key(|d| (d.node, d.neighbor));
-        for d in due {
+            self.pending_detections.pop();
             if self.alive_node[d.node as usize] && self.remove_believed(d.node, d.neighbor) {
                 self.record(Event::Detected {
                     round,
@@ -351,22 +440,26 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     }
 
     /// Apply the transit fault pipeline (dead link, probabilistic loss,
-    /// bit corruption) to one message; `Some` means it survives.
-    fn transit(&mut self, src: NodeId, dst: NodeId, mut msg: P::Msg) -> Option<P::Msg> {
+    /// bit corruption) to one message in place; `true` means it survives.
+    /// Until the first physical fault fires, the liveness checks are a
+    /// single branch, and clean plans skip the probabilistic draws too.
+    #[inline]
+    fn transit(&mut self, src: NodeId, dst: NodeId, msg: &mut P::Msg) -> bool {
         let round = self.round;
-        let physically_dead = !self.alive_node[src as usize]
-            || !self.alive_node[dst as usize]
-            || self.dead_links.contains(&Self::canonical(src, dst));
-        if physically_dead {
+        if self.physical_faults
+            && (!self.alive_node[src as usize]
+                || !self.alive_node[dst as usize]
+                || self.arc_is_dead(src, dst))
+        {
             self.stats.lost_dead += 1;
             self.record(Event::LostDead { round, src, dst });
-            return None;
+            return false;
         }
         if self.plan.msg_loss_prob > 0.0 && self.fault_rng.random::<f64>() < self.plan.msg_loss_prob
         {
             self.stats.lost_random += 1;
             self.record(Event::LostRandom { round, src, dst });
-            return None;
+            return false;
         }
         if self.plan.bit_flip_prob > 0.0 && self.fault_rng.random::<f64>() < self.plan.bit_flip_prob
         {
@@ -383,22 +476,22 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 });
             }
         }
-        Some(msg)
+        true
     }
 
     /// Offer `replier` the chance to answer `to` immediately (push-pull).
     /// The reply takes the ordinary transit pipeline; replies to replies
     /// are not solicited.
     fn deliver_reply(&mut self, replier: NodeId, to: NodeId) {
-        if let Some(reply) = self.protocol.reply(replier, to) {
+        if let Some(mut reply) = self.protocol.reply(replier, to) {
             self.stats.sent += 1;
             self.record(Event::Sent {
                 round: self.round,
                 src: replier,
                 dst: to,
             });
-            if let Some(reply) = self.transit(replier, to, reply) {
-                self.protocol.on_receive(to, replier, reply);
+            if self.transit(replier, to, &mut reply) {
+                self.protocol.on_receive(to, replier, &mut reply);
                 self.note_delivery(replier, to);
             }
         }
@@ -435,9 +528,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             if !self.alive_node[i as usize] {
                 continue;
             }
-            let target = self
-                .schedule
-                .pick(i, &self.believed[i as usize], &mut self.schedule_rng);
+            let base = self.graph.arc_base(i);
+            let alive = &self.believed_flat[base..base + self.believed_len[i as usize] as usize];
+            let target = self.schedule.pick(i, alive, &mut self.schedule_rng);
             let Some(target) = target else { continue };
             let msg = self.protocol.on_send(i, target);
             self.stats.sent += 1;
@@ -447,30 +540,58 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 dst: target,
             });
             let d = self.delay.sample(&mut self.fault_rng);
-            let slot = ((self.round + d) % nbuckets) as usize;
+            let slot = if nbuckets == 1 {
+                0
+            } else {
+                ((self.round + d) % nbuckets) as usize
+            };
             self.buckets[slot].push((i, target, msg));
         }
 
         // Phase 4+5: transit faults, then in-order delivery of everything
         // due this round.
-        let slot = (self.round % nbuckets) as usize;
+        let slot = if nbuckets == 1 {
+            0
+        } else {
+            (self.round % nbuckets) as usize
+        };
+        // Nothing in this phase can introduce a fault, so one check
+        // covers the whole batch: the fully-clean case (no physical
+        // faults, no probabilistic models) skips `transit` entirely.
+        let clean = !self.physical_faults
+            && self.plan.msg_loss_prob <= 0.0
+            && self.plan.bit_flip_prob <= 0.0;
         let mut batch = std::mem::take(&mut self.buckets[slot]);
-        for (src, dst, msg) in batch.drain(..) {
-            if let Some(msg) = self.transit(src, dst, msg) {
+        // Receivers are in random order while the batch is walked
+        // sequentially: warm the state a few deliveries ahead so the
+        // handler's first loads come out of cache.
+        const LOOKAHEAD: usize = 8;
+        for i in 0..batch.len() {
+            if let Some(ahead) = batch.get(i + LOOKAHEAD) {
+                self.protocol.prewarm(ahead.1, ahead.0);
+            }
+            let entry = &mut batch[i];
+            let (src, dst) = (entry.0, entry.1);
+            let msg = &mut entry.2;
+            if clean || self.transit(src, dst, msg) {
                 self.protocol.on_receive(dst, src, msg);
                 self.note_delivery(src, dst);
                 self.deliver_reply(dst, src);
             }
         }
+        batch.clear();
         self.buckets[slot] = batch; // hand the allocation back
     }
 
     fn step_asynchronous(&mut self) {
         // n single-node activations; each is an atomic send+deliver, so
         // no crossing exchanges exist in this model.
-        self.alive_scratch.clear();
-        self.alive_scratch
-            .extend((0..self.graph.len() as NodeId).filter(|&i| self.alive_node[i as usize]));
+        if self.alive_scratch_dirty {
+            self.alive_scratch.clear();
+            self.alive_scratch
+                .extend((0..self.graph.len() as NodeId).filter(|&i| self.alive_node[i as usize]));
+            self.alive_scratch_dirty = false;
+        }
         if self.alive_scratch.is_empty() {
             return;
         }
@@ -479,19 +600,19 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         for _ in 0..self.alive_scratch.len() {
             let k = self.schedule_rng.random_range(0..self.alive_scratch.len());
             let i = self.alive_scratch[k];
-            let target = self
-                .schedule
-                .pick(i, &self.believed[i as usize], &mut self.schedule_rng);
+            let base = self.graph.arc_base(i);
+            let alive = &self.believed_flat[base..base + self.believed_len[i as usize] as usize];
+            let target = self.schedule.pick(i, alive, &mut self.schedule_rng);
             let Some(target) = target else { continue };
-            let msg = self.protocol.on_send(i, target);
+            let mut msg = self.protocol.on_send(i, target);
             self.stats.sent += 1;
             self.record(Event::Sent {
                 round: self.round,
                 src: i,
                 dst: target,
             });
-            if let Some(msg) = self.transit(i, target, msg) {
-                self.protocol.on_receive(target, i, msg);
+            if self.transit(i, target, &mut msg) {
+                self.protocol.on_receive(target, i, &mut msg);
                 self.note_delivery(i, target);
                 self.deliver_reply(target, i);
             }
@@ -510,6 +631,13 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// corruption switch immediately. Used to model fault episodes ("flip
     /// bits for 200 rounds, then run clean and watch recovery").
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let (link_queue, crash_queue) = sorted_queues(&plan);
+        // Skip events already in the past, preserving the "never fire"
+        // contract; the cursors then only ever see current-round events.
+        self.link_cursor = link_queue.partition_point(|f| f.at_round < self.round);
+        self.crash_cursor = crash_queue.partition_point(|c| c.at_round < self.round);
+        self.link_queue = link_queue;
+        self.crash_queue = crash_queue;
         self.plan = plan;
     }
 
@@ -518,7 +646,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// the primary interface.
     pub fn fail_link_now(&mut self, a: NodeId, b: NodeId) {
         assert!(self.graph.has_edge(a, b), "no link ({a},{b}) to fail");
-        self.dead_links.insert(Self::canonical(a, b));
+        self.mark_link_dead(a, b);
         for (x, y) in [(a, b), (b, a)] {
             if self.alive_node[x as usize] && self.remove_believed(x, y) {
                 self.protocol.on_link_failed(x, y);
@@ -557,8 +685,8 @@ mod tests {
             self.sends += 1;
             node as f64
         }
-        fn on_receive(&mut self, node: NodeId, from: NodeId, msg: f64) {
-            self.received[node as usize].push((from, msg));
+        fn on_receive(&mut self, node: NodeId, from: NodeId, msg: &mut f64) {
+            self.received[node as usize].push((from, *msg));
         }
         fn on_link_failed(&mut self, node: NodeId, neighbor: NodeId) {
             self.failed_links.push((node, neighbor));
@@ -893,7 +1021,7 @@ mod tests {
                         node as f64
                     }
                 }
-                fn on_receive(&mut self, _n: NodeId, _f: NodeId, _m: f64) {}
+                fn on_receive(&mut self, _n: NodeId, _f: NodeId, _m: &mut f64) {}
             }
             let mut sim = Simulator::new(&g, P { log: vec![], skip }, FaultPlan::none(), 99);
             sim.run(15);

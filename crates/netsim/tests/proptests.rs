@@ -25,7 +25,7 @@ impl Protocol for Log {
     fn on_send(&mut self, node: NodeId, _t: NodeId) -> f64 {
         node as f64
     }
-    fn on_receive(&mut self, node: NodeId, from: NodeId, _m: f64) {
+    fn on_receive(&mut self, node: NodeId, from: NodeId, _m: &mut f64) {
         self.deliveries.push((from, node));
     }
     fn on_link_failed(&mut self, node: NodeId, neighbor: NodeId) {

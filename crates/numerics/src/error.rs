@@ -7,6 +7,7 @@
 
 use crate::dd::Dd;
 use crate::stats::Summary;
+use crate::sum::CompensatedSum;
 
 /// Relative error of `approx` against a double-double reference.
 ///
@@ -54,6 +55,48 @@ impl RelErr {
             median: s.median(),
             mean: s.mean(),
         }
+    }
+
+    /// As [`RelErr::of`], but sorting inside the caller-supplied scratch
+    /// buffer instead of allocating one — the per-sample path of the run
+    /// loop calls this every few rounds and stays allocation-free once the
+    /// buffer is warm. Bitwise-identical to [`RelErr::of`]: it replicates
+    /// the [`Summary`] NaN filter, its compensated mean, and its
+    /// linear-interpolation quantile (`pos = q·(n−1)`, floor/ceil bracket,
+    /// lerp) operation for operation.
+    pub fn of_with_scratch<I: IntoIterator<Item = f64>>(
+        estimates: I,
+        reference: Dd,
+        scratch: &mut Vec<f64>,
+    ) -> RelErr {
+        scratch.clear();
+        let mut acc = CompensatedSum::new();
+        for x in estimates.into_iter().map(|e| relative_error(e, reference)) {
+            if !x.is_nan() {
+                acc.add(x);
+                scratch.push(x);
+            }
+        }
+        scratch.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+        let n = scratch.len();
+        let max = scratch.last().copied().unwrap_or(f64::NAN);
+        let mean = if n == 0 {
+            f64::NAN
+        } else {
+            acc.value() / n as f64
+        };
+        let median = match n {
+            0 => f64::NAN,
+            1 => scratch[0],
+            _ => {
+                let pos = 0.5 * (n - 1) as f64;
+                let lo = pos.floor() as usize;
+                let hi = pos.ceil() as usize;
+                let frac = pos - lo as f64;
+                scratch[lo] * (1.0 - frac) + scratch[hi] * frac
+            }
+        };
+        RelErr { max, median, mean }
     }
 }
 
@@ -123,5 +166,27 @@ mod tests {
         let r = Dd::from_f64(1.0) + 1e-25;
         let e = relative_error(1.0, r);
         assert!((e - 1e-25).abs() < 1e-35, "got {e}");
+    }
+
+    #[test]
+    fn scratch_variant_is_bitwise_identical() {
+        let cases: [&[f64]; 5] = [
+            &[],
+            &[3.5],
+            &[1.0, f64::NAN, 2.0, -7.25, f64::INFINITY],
+            &[10.0, 11.0, 9.0, 10.5],
+            &[0.0, -0.0, 1e-300, 1e300],
+        ];
+        let refs = [Dd::ZERO, Dd::from_f64(10.0), Dd::from_f64(-2.5)];
+        let mut scratch = Vec::new();
+        for est in cases {
+            for r in refs {
+                let a = RelErr::of(est.iter().copied(), r);
+                let b = RelErr::of_with_scratch(est.iter().copied(), r, &mut scratch);
+                assert_eq!(a.max.to_bits(), b.max.to_bits());
+                assert_eq!(a.median.to_bits(), b.median.to_bits());
+                assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+            }
+        }
     }
 }

@@ -72,8 +72,8 @@ impl Protocol for ExtremumGossip {
         self.best[node as usize]
     }
 
-    fn on_receive(&mut self, node: NodeId, _from: NodeId, msg: f64) {
-        self.merge(node, msg);
+    fn on_receive(&mut self, node: NodeId, _from: NodeId, msg: &mut f64) {
+        self.merge(node, *msg);
     }
 }
 
@@ -208,7 +208,7 @@ mod tests {
         let g = complete(4);
         let d = InitialData::with_kind(vec![1.0, 2.0, 3.0, 4.0], AggregateKind::Average);
         let mut p = ExtremumGossip::new(&g, &d, Extremum::Max);
-        p.on_receive(0, 1, f64::NAN);
+        p.on_receive(0, 1, &mut f64::NAN.clone());
         assert_eq!(p.scalar_estimate(0), 1.0);
     }
 }

@@ -154,12 +154,13 @@ impl<'g, P: Payload> Protocol for FlowUpdating<'g, P> {
         }
     }
 
-    fn on_receive(&mut self, node: NodeId, from: NodeId, msg: FuMsg<P>) {
+    fn on_receive(&mut self, node: NodeId, from: NodeId, msg: &mut FuMsg<P>) {
         let idx = self.arc(node, from);
-        let mut f = msg.flow;
-        f.negate();
-        self.flows[idx] = f;
-        self.nbr_est[idx] = msg.estimate;
+        // Steal the payloads in place of copying them: the buffer slot is
+        // dead after this call (see the `Protocol` docs).
+        msg.flow.negate();
+        std::mem::swap(&mut self.flows[idx], &mut msg.flow);
+        std::mem::swap(&mut self.nbr_est[idx], &mut msg.estimate);
     }
 
     fn on_link_failed(&mut self, node: NodeId, neighbor: NodeId) {
@@ -270,8 +271,8 @@ mod tests {
             let i: NodeId = rng.random_range(0..8);
             let nbrs = g.neighbors(i);
             let k = nbrs[rng.random_range(0..nbrs.len())];
-            let msg = fu.on_send(i, k);
-            fu.on_receive(k, i, msg);
+            let mut msg = fu.on_send(i, k);
+            fu.on_receive(k, i, &mut msg);
             let total: f64 = (0..8).map(|i| fu.estimate_value(i)).sum();
             assert!((total - total0).abs() < 1e-10, "mass drifted: {total}");
         }

@@ -65,5 +65,5 @@ pub use push_pull_sum::PushPullSum;
 pub use push_sum::PushSum;
 pub use runner::{
     mass_reference, measure_error, run_reduction, run_with_options, run_with_protocol,
-    run_with_schedule, Algorithm, ErrorSample, RunConfig, RunResult,
+    run_with_schedule, Algorithm, ErrorSample, Measurer, RunConfig, RunResult,
 };

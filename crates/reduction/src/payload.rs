@@ -35,6 +35,12 @@ pub trait Payload: Clone + PartialEq + fmt::Debug + Corrupt + Send + 'static {
     /// `self *= s`.
     fn scale(&mut self, s: f64);
 
+    /// Set every component to exactly `+0.0` (keeping the allocation of
+    /// vector payloads). Unlike `scale(0.0)` this also clears non-finite
+    /// components, so it is the right primitive for zeroing a possibly
+    /// corrupted flow.
+    fn set_zero(&mut self);
+
     /// IEEE semantic equality of every component (`0.0 == -0.0`, NaN never
     /// equal). This is the conservation test `f_{j,i} = −f_{i,j}` of the
     /// PCF pseudocode: it holds exactly when the last exchange on the edge
@@ -83,6 +89,10 @@ impl Payload for f64 {
         *self *= s;
     }
     #[inline]
+    fn set_zero(&mut self) {
+        *self = 0.0;
+    }
+    #[inline]
     fn eq_components(&self, rhs: &Self) -> bool {
         *self == *rhs
     }
@@ -129,6 +139,9 @@ impl Payload for Vec<f64> {
         for a in self.iter_mut() {
             *a *= s;
         }
+    }
+    fn set_zero(&mut self) {
+        self.fill(0.0);
     }
     fn eq_components(&self, rhs: &Self) -> bool {
         self.len() == rhs.len() && self.iter().zip(rhs).all(|(a, b)| a == b)
@@ -211,12 +224,7 @@ impl<P: Payload> Mass<P> {
     /// Set to zero in place (keeps the allocation of vector payloads).
     #[inline]
     pub fn clear(&mut self) {
-        self.value.scale(0.0);
-        // scale(0.0) leaves NaN/inf residue if a component was non-finite;
-        // a corrupted flow must still clear exactly, so overwrite instead.
-        if self.value.components().iter().any(|c| !(*c == 0.0)) {
-            self.value = P::zeros(self.value.dim());
-        }
+        self.value.set_zero();
         self.weight = 0.0;
     }
 

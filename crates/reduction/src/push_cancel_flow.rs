@@ -144,25 +144,72 @@ pub struct PcfStats {
     pub ignored_messages: u64,
 }
 
+/// Per-arc protocol state. Kept as one struct (array-of-structs rather
+/// than five parallel arrays) so the two lookups per message touch one
+/// cache line instead of up to five — on large topologies the arc state
+/// no longer fits in L2 and this layout is what keeps the hot loop from
+/// paying a miss per field. The cache-line alignment makes that exact:
+/// a scalar-payload `ArcState` is 64 bytes, and without the alignment
+/// most elements of the `Vec` straddle two lines, doubling the misses of
+/// the random per-receiver access pattern.
+#[derive(Clone, Debug)]
+#[repr(align(64))]
+struct ArcState<P> {
+    /// The two flow slots `f_{i,j,1}` / `f_{i,j,2}`, indexed `c − 1`.
+    /// Stored as an array so that slot selection by the control variable
+    /// is address arithmetic rather than a data-dependent branch — `c`
+    /// alternates per fold generation and arrives in random edge order,
+    /// so such branches are inherently unpredictable.
+    f: [Mass<P>; 2],
+    /// Value most recently folded on this arc (advertised in messages so
+    /// the peer can verify/re-sync its matching fold; see [`PcfMsg`]).
+    folded: Mass<P>,
+    /// Role-swap counter `r_{i,j}`.
+    r: u64,
+    /// Active-slot indicator `c_{i,j} ∈ {1,2}`.
+    c: u8,
+}
+
+impl<P: Payload> ArcState<P> {
+    fn fresh(dim: usize) -> Self {
+        ArcState {
+            f: [Mass::zero(dim), Mass::zero(dim)],
+            folded: Mass::zero(dim),
+            r: 1,
+            c: 1,
+        }
+    }
+
+    /// The slot a control value designates (`active(c)`); its partner is
+    /// `passive(c)`. Branchless: `c ∈ {1, 2}` maps to index `0`/`1`.
+    #[inline(always)]
+    fn active(&mut self, c: u8) -> &mut Mass<P> {
+        &mut self.f[((c - 1) & 1) as usize]
+    }
+
+    #[inline(always)]
+    fn passive(&mut self, c: u8) -> &mut Mass<P> {
+        &mut self.f[((2 - c) & 1) as usize]
+    }
+}
+
+/// Per-node state: the immutable initial data `v_i = (x_i, w_i)` next to
+/// the sum-of-flows accumulator `ϕ_i` it is estimated against, so the
+/// per-send estimate reads one cache line instead of two.
+#[derive(Clone, Debug)]
+struct NodeState<P> {
+    init: Mass<P>,
+    phi: Mass<P>,
+}
+
 /// Push-cancel-flow protocol state (all nodes; per-edge state arc-indexed).
 pub struct PushCancelFlow<'g, P: Payload> {
     graph: &'g Graph,
     mode: PhiMode,
-    /// Immutable initial data `v_i = (x_i, w_i)`.
-    init: Vec<Mass<P>>,
-    /// Sum-of-flows accumulator `ϕ_i` (meaning depends on `mode`).
-    phi: Vec<Mass<P>>,
-    /// Flow slot 1, `flows1[arc(i,j)] = f_{i,j,1}`.
-    flows1: Vec<Mass<P>>,
-    /// Flow slot 2.
-    flows2: Vec<Mass<P>>,
-    /// Active-slot indicator `c_{i,j} ∈ {1,2}`, arc-indexed.
-    active: Vec<u8>,
-    /// Role-swap counter `r_{i,j}`, arc-indexed.
-    rounds: Vec<u64>,
-    /// Value most recently folded on each arc (advertised in messages so
-    /// the peer can verify/re-sync its matching fold; see [`PcfMsg`]).
-    last_folded: Vec<Mass<P>>,
+    /// Per-node data (`ϕ_i` meaning depends on `mode`).
+    nodes: Vec<NodeState<P>>,
+    /// Per-arc flow/control state, `arcs[arc(i, j)]`.
+    arcs: Vec<ArcState<P>>,
     /// Optional plausibility bound on incoming flows (see
     /// [`PushCancelFlow::with_guard`]).
     guard: Option<f64>,
@@ -180,20 +227,20 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
     pub fn with_mode(graph: &'g Graph, init: &InitialData<P>, mode: PhiMode) -> Self {
         assert_eq!(graph.len(), init.len(), "graph/init size mismatch");
         let dim = init.dim();
-        let init_mass: Vec<Mass<P>> = (0..init.len())
-            .map(|i| Mass::new(init.value(i).clone(), init.weight(i)))
+        let nodes: Vec<NodeState<P>> = (0..init.len())
+            .map(|i| NodeState {
+                init: Mass::new(init.value(i).clone(), init.weight(i)),
+                phi: Mass::zero(dim),
+            })
             .collect();
-        let arcs = graph.arc_count();
+        let arcs = (0..graph.arc_count())
+            .map(|_| ArcState::fresh(dim))
+            .collect();
         PushCancelFlow {
             graph,
             mode,
-            init: init_mass,
-            phi: vec![Mass::zero(dim); graph.len()],
-            flows1: vec![Mass::zero(dim); arcs],
-            flows2: vec![Mass::zero(dim); arcs],
-            active: vec![1; arcs],
-            rounds: vec![1; arcs],
-            last_folded: vec![Mass::zero(dim); arcs],
+            nodes,
+            arcs,
             guard: None,
             dim,
             stats: PcfStats::default(),
@@ -212,18 +259,20 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
         self
     }
 
+    #[inline]
     fn mass_plausible(&self, m: &Mass<P>) -> bool {
-        let finite = m.weight.is_finite() && m.value.components().iter().all(|c| c.is_finite());
+        let finite = || m.weight.is_finite() && m.value.components().iter().all(|c| c.is_finite());
         match self.guard {
             Some(b) => {
-                finite && m.weight.abs() <= b && m.value.components().iter().all(|c| c.abs() <= b)
+                finite() && m.weight.abs() <= b && m.value.components().iter().all(|c| c.abs() <= b)
             }
             // Hardened mode screens non-finite fields even without a
             // magnitude guard: NaN/∞ is implausible under any aggregate,
             // and a NaN that reaches a fold is locked into ϕ forever
             // (ϕ only ever accumulates). Eager mode stays faithful to
-            // Fig. 5 as printed, which has no such check.
-            None => self.mode != PhiMode::Hardened || finite,
+            // Fig. 5 as printed, which has no such check — and pays no
+            // per-field classification on the hot path either.
+            None => self.mode != PhiMode::Hardened || finite(),
         }
     }
 
@@ -248,39 +297,40 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
 
     /// Flow `f_{i,j,slot}` (test/inspection hook; `slot` is 1 or 2).
     pub fn flow(&self, i: NodeId, j: NodeId, slot: u8) -> &Mass<P> {
-        let idx = self.arc(i, j);
+        let s = &self.arcs[self.arc(i, j)];
         match slot {
-            1 => &self.flows1[idx],
-            2 => &self.flows2[idx],
+            1 => &s.f[0],
+            2 => &s.f[1],
             _ => panic!("flow slot must be 1 or 2"),
         }
     }
 
     /// The active-slot indicator `c_{i,j}`.
     pub fn active_slot(&self, i: NodeId, j: NodeId) -> u8 {
-        self.active[self.arc(i, j)]
+        self.arcs[self.arc(i, j)].c
     }
 
     /// The role-swap counter `r_{i,j}`.
     pub fn swap_round(&self, i: NodeId, j: NodeId) -> u64 {
-        self.rounds[self.arc(i, j)]
+        self.arcs[self.arc(i, j)].r
     }
 
     /// The sum-of-flows accumulator `ϕ_i` (diagnostic; its exact meaning
     /// depends on [`PhiMode`], see the module docs).
     pub fn phi(&self, i: NodeId) -> &Mass<P> {
-        &self.phi[i as usize]
+        &self.nodes[i as usize].phi
     }
 
     /// Live data `e_i` (see module docs for the per-mode formula).
     pub fn estimate_mass(&self, i: NodeId) -> Mass<P> {
-        let mut e = self.init[i as usize].clone();
-        e.sub_assign(&self.phi[i as usize]);
+        let node = &self.nodes[i as usize];
+        let mut e = node.init.clone();
+        e.sub_assign(&node.phi);
         if self.mode == PhiMode::Hardened {
             let base = self.graph.arc_base(i);
             for slot in 0..self.graph.degree(i) {
-                e.sub_assign(&self.flows1[base + slot]);
-                e.sub_assign(&self.flows2[base + slot]);
+                e.sub_assign(&self.arcs[base + slot].f[0]);
+                e.sub_assign(&self.arcs[base + slot].f[1]);
             }
         }
         e
@@ -292,16 +342,16 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
     /// [`PushFlow::set_local_value`](crate::PushFlow::set_local_value).
     pub fn set_local_value(&mut self, i: NodeId, value: P) {
         assert_eq!(value.dim(), self.dim, "payload dimension mismatch");
-        self.init[i as usize].value = value;
+        self.nodes[i as usize].init.value = value;
     }
 
     /// Largest live-flow magnitude in the system. The paper's key
     /// structural claim is that this stays `O(|aggregate|)` for PCF while
     /// it grows without bound relative to the aggregate for PF.
     pub fn max_flow_magnitude(&self) -> f64 {
-        self.flows1
+        self.arcs
             .iter()
-            .chain(self.flows2.iter())
+            .flat_map(|s| [&s.f[0], &s.f[1]])
             .flat_map(|f| f.value.components().iter().copied())
             .fold(0.0f64, |a, c| a.max(c.abs()))
     }
@@ -328,25 +378,43 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         let idx = self.arc(node, target);
         let mut e = self.estimate_mass(node);
         e.scale(0.5);
-        let f_active = if self.active[idx] == 1 {
-            &mut self.flows1[idx]
-        } else {
-            &mut self.flows2[idx]
-        };
-        f_active.add_assign(&e);
-        if self.mode == PhiMode::Eager {
-            self.phi[node as usize].add_assign(&e);
+        let eager = self.mode == PhiMode::Eager;
+        let PushCancelFlow { nodes, arcs, .. } = self;
+        let s = &mut arcs[idx];
+        s.active(s.c).add_assign(&e);
+        if eager {
+            nodes[node as usize].phi.add_assign(&e);
         }
         PcfMsg {
-            f1: self.flows1[idx].clone(),
-            f2: self.flows2[idx].clone(),
-            c: self.active[idx],
-            r: self.rounds[idx],
-            folded: self.last_folded[idx].clone(),
+            f1: s.f[0].clone(),
+            f2: s.f[1].clone(),
+            c: s.c,
+            r: s.r,
+            folded: s.folded.clone(),
         }
     }
 
-    fn on_receive(&mut self, node: NodeId, from: NodeId, msg: PcfMsg<P>) {
+    fn prewarm(&self, node: NodeId, from: NodeId) {
+        // Touch the two cache lines `on_receive(node, from, _)` starts
+        // with; the arc index is recomputed there, but the neighbor scan
+        // is cheap next to the miss this hides.
+        #[cfg(target_arch = "x86_64")]
+        if let Some(slot) = self.graph.neighbor_slot(node, from) {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let idx = self.graph.arc_base(node) + slot;
+            // SAFETY: prefetch has no memory effects; both pointers are
+            // in-bounds elements of live Vecs.
+            unsafe {
+                _mm_prefetch((&raw const self.arcs[idx]).cast::<i8>(), _MM_HINT_T0);
+                _mm_prefetch(
+                    (&raw const self.nodes[node as usize]).cast::<i8>(),
+                    _MM_HINT_T0,
+                );
+            }
+        }
+    }
+
+    fn on_receive(&mut self, node: NodeId, from: NodeId, msg: &mut PcfMsg<P>) {
         // Fig. 5 lines 6–29 for one received tuple.
         if msg.c != 1 && msg.c != 2 {
             // Corrupted control field: no branch of the pseudocode is
@@ -369,6 +437,16 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         let idx = self.arc(node, from);
         let i = node as usize;
         let (c_ji, r_ji) = (msg.c, msg.r);
+        let mode = self.mode;
+        // One borrow of each hot field for the whole handler — the arc
+        // state, this node's ϕ and the counters are disjoint, and binding
+        // them once keeps the indexing (and its bounds checks) out of the
+        // per-branch code below.
+        let PushCancelFlow {
+            nodes, arcs, stats, ..
+        } = self;
+        let s = &mut arcs[idx];
+        let phi = &mut nodes[i].phi;
 
         // Fold acknowledgement, evaluated *before* the active-slot
         // agreement guard and in terms of the message's own slot roles:
@@ -382,85 +460,69 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         // (c mismatch, r skew 1) state that the pseudocode's guard would
         // ignore forever, deadlocking the edge while sends keep paying
         // mass into it.
-        let msg_pas_by_msg = if c_ji == 1 { &msg.f2 } else { &msg.f1 };
-        if self.rounds[idx] + 1 == r_ji && msg_pas_by_msg.is_zero() {
+        let msg_f = [&msg.f1, &msg.f2];
+        let msg_pas_by_msg = msg_f[((2 - c_ji) & 1) as usize];
+        if s.r + 1 == r_ji && msg_pas_by_msg.is_zero() {
             {
-                let f_pas = if c_ji == 1 {
-                    &mut self.flows2[idx]
-                } else {
-                    &mut self.flows1[idx]
-                };
+                let f_pas = s.passive(c_ji);
                 if !f_pas.is_neg_of(&msg.folded) {
                     // Our passive moved since the peer verified it (only
                     // possible under message delay): re-sync it with the
                     // same invariant-preserving overwrite as the
                     // active-flow rule, so the pairwise fold cancels
                     // exactly.
-                    if self.mode == PhiMode::Eager {
+                    if mode == PhiMode::Eager {
                         let mut delta = f_pas.clone();
                         delta.add_assign(&msg.folded);
-                        self.phi[i].sub_assign(&delta);
+                        phi.sub_assign(&delta);
                     }
                     *f_pas = msg.folded.negated();
-                    self.stats.fold_resyncs += 1;
+                    stats.fold_resyncs += 1;
                 }
-                self.last_folded[idx] = f_pas.clone();
-                Self::fold_and_clear(self.mode, &mut self.phi[i], f_pas, &mut self.stats);
+                s.folded = f_pas.clone();
+                let f_pas = s.passive(c_ji);
+                Self::fold_and_clear(mode, phi, f_pas, stats);
             }
-            self.rounds[idx] += 1;
-            self.active[idx] = 3 - c_ji;
-            self.stats.swaps += 1;
+            s.r += 1;
+            s.c = 3 - c_ji;
+            stats.swaps += 1;
             // The message's active slot still carries fresh flow state:
             // apply the plain-PF overwrite to it as well.
-            let msg_act = if c_ji == 1 { &msg.f1 } else { &msg.f2 };
-            let f_act = if c_ji == 1 {
-                &mut self.flows1[idx]
-            } else {
-                &mut self.flows2[idx]
-            };
-            if self.mode == PhiMode::Eager {
+            let msg_act = msg_f[((c_ji - 1) & 1) as usize];
+            let f_act = s.active(c_ji);
+            if mode == PhiMode::Eager {
                 let mut delta = f_act.clone();
                 delta.add_assign(msg_act);
-                self.phi[i].sub_assign(&delta);
+                phi.sub_assign(&delta);
             }
             *f_act = msg_act.negated();
             return;
         }
 
         // Line 7–9: adopt the peer's swap if we missed it.
-        if self.active[idx] != c_ji && self.rounds[idx] == r_ji {
-            self.active[idx] = c_ji;
+        if s.c != c_ji && s.r == r_ji {
+            s.c = c_ji;
         }
 
         // Line 10: only interact when we agree which slot is active.
-        if self.active[idx] != c_ji {
-            self.stats.ignored_messages += 1;
+        if s.c != c_ji {
+            stats.ignored_messages += 1;
             return;
         }
-        let c = self.active[idx];
-        let (msg_act, msg_pas) = if c == 1 {
-            (&msg.f1, &msg.f2)
-        } else {
-            (&msg.f2, &msg.f1)
-        };
-        let (f_act, f_pas) = {
-            // Split the two slot arrays so we can hold both flows mutably.
-            let (a, p) = if c == 1 {
-                (&mut self.flows1[idx], &mut self.flows2[idx])
-            } else {
-                (&mut self.flows2[idx], &mut self.flows1[idx])
-            };
-            (a, p)
-        };
+        let c = s.c;
+        let msg_act = msg_f[((c - 1) & 1) as usize];
+        let msg_pas = msg_f[((2 - c) & 1) as usize];
 
         // Lines 11–12: plain PF on the active slot.
-        if self.mode == PhiMode::Eager {
+        let f_act = s.active(c);
+        if mode == PhiMode::Eager {
             // ϕ_i ← ϕ_i − (f_{i,j,c} + f_{j,i,c})
             let mut delta = f_act.clone();
             delta.add_assign(msg_act);
-            self.phi[i].sub_assign(&delta);
+            phi.sub_assign(&delta);
         }
         *f_act = msg_act.negated();
+        let pas = ((2 - c) & 1) as usize;
 
         // Lines 13–27: passive-slot handling, with *directed* cancellation:
         // only the lower-id endpoint of an edge may initiate a fold (case
@@ -474,18 +536,19 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         // folds of values that do not cancel, which demonstrably destroys
         // mass (see `ablation_execution_models`).
         let initiator = node < from;
-        if initiator && msg_pas.is_neg_of(f_pas) && self.rounds[idx] == r_ji {
+        if initiator && msg_pas.is_neg_of(&s.f[pas]) && s.r == r_ji {
             // (i) conservation reached: cancel our passive flow.
-            self.last_folded[idx] = f_pas.clone();
-            Self::fold_and_clear(self.mode, &mut self.phi[i], f_pas, &mut self.stats);
-            self.rounds[idx] += 1;
-        } else if self.rounds[idx] <= r_ji {
+            s.folded = s.f[pas].clone();
+            Self::fold_and_clear(mode, phi, &mut s.f[pas], stats);
+            s.r += 1;
+        } else if s.r <= r_ji {
             // (iii) passive pair not conserved (e.g. after a loss): treat
             // it like an active flow to restore conservation.
-            if self.mode == PhiMode::Eager {
+            let f_pas = &mut s.f[pas];
+            if mode == PhiMode::Eager {
                 let mut delta = f_pas.clone();
                 delta.add_assign(msg_pas);
-                self.phi[i].sub_assign(&delta);
+                phi.sub_assign(&delta);
             }
             *f_pas = msg_pas.negated();
         }
@@ -503,22 +566,23 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         // estimate is defined as `v − Σf` and therefore *must* jump by the
         // zeroed flow's magnitude — restarts (Fig. 4).
         let idx = self.arc(node, neighbor);
+        let s = &mut self.arcs[idx];
         if self.mode == PhiMode::Hardened {
-            let mut delta = self.flows1[idx].clone();
-            delta.add_assign(&self.flows2[idx]);
-            self.phi[node as usize].add_assign(&delta);
+            let mut delta = s.f[0].clone();
+            delta.add_assign(&s.f[1]);
+            self.nodes[node as usize].phi.add_assign(&delta);
         }
-        self.flows1[idx].clear();
-        self.flows2[idx].clear();
-        self.last_folded[idx].clear();
-        self.active[idx] = 1;
-        self.rounds[idx] = 1;
+        s.f[0].clear();
+        s.f[1].clear();
+        s.folded.clear();
+        s.c = 1;
+        s.r = 1;
     }
 }
 
 impl<'g, P: Payload> ReductionProtocol for PushCancelFlow<'g, P> {
     fn node_count(&self) -> usize {
-        self.init.len()
+        self.nodes.len()
     }
 
     fn dim(&self) -> usize {
@@ -540,9 +604,9 @@ impl<'g, P: Payload> ReductionProtocol for PushCancelFlow<'g, P> {
         // exchange one slot is mid-handoff, but once the exchange
         // completes `f1 + f2` obeys pairwise antisymmetry just like PF's
         // single flow variable.
-        let idx = self.arc(i, j);
-        let mut f = self.flows1[idx].clone();
-        f.add_assign(&self.flows2[idx]);
+        let s = &self.arcs[self.arc(i, j)];
+        let mut f = s.f[0].clone();
+        f.add_assign(&s.f[1]);
         values.copy_from_slice(f.value.components());
         Some(f.weight)
     }
@@ -685,8 +749,8 @@ mod tests {
                 let i: NodeId = rng.random_range(0..8);
                 let nbrs = g.neighbors(i);
                 let k = nbrs[rng.random_range(0..nbrs.len())];
-                let msg = pcf.on_send(i, k);
-                pcf.on_receive(k, i, msg);
+                let mut msg = pcf.on_send(i, k);
+                pcf.on_receive(k, i, &mut msg);
                 let total_w: f64 = (0..8).map(|i| pcf.estimate_mass(i).weight).sum();
                 let total_v: f64 = (0..8).map(|i| pcf.estimate_mass(i).value).sum();
                 assert!(
@@ -820,14 +884,14 @@ mod tests {
         let g = bus(2);
         let data = avg_data(2, 13);
         let mut pcf = PushCancelFlow::new(&g, &data);
-        let msg = PcfMsg {
+        let mut msg = PcfMsg {
             f1: Mass::new(0.5, 0.5),
             f2: Mass::zero(1),
             c: 7, // corrupted
             r: 1,
             folded: Mass::zero(1),
         };
-        pcf.on_receive(0, 1, msg);
+        pcf.on_receive(0, 1, &mut msg);
         assert_eq!(pcf.stats().rejected_messages, 1);
         // state untouched
         assert!(pcf.flow(0, 1, 1).is_zero());
@@ -890,25 +954,25 @@ mod tests {
         let g = bus(2);
         let data = avg_data(2, 16);
         let mut pcf = PushCancelFlow::new(&g, &data).with_guard(100.0);
-        let msg = PcfMsg {
+        let mut msg = PcfMsg {
             f1: Mass::new(1e30, 1.0), // exponent-flipped
             f2: Mass::zero(1),
             c: 1,
             r: 1,
             folded: Mass::zero(1),
         };
-        pcf.on_receive(0, 1, msg);
+        pcf.on_receive(0, 1, &mut msg);
         assert_eq!(pcf.stats().rejected_messages, 1);
         assert!(pcf.flow(0, 1, 1).is_zero());
         // a corrupted `folded` field is caught too
-        let msg = PcfMsg {
+        let mut msg = PcfMsg {
             f1: Mass::new(0.5, 0.5),
             f2: Mass::zero(1),
             c: 1,
             r: 1,
             folded: Mass::new(f64::NEG_INFINITY, 0.0),
         };
-        pcf.on_receive(0, 1, msg);
+        pcf.on_receive(0, 1, &mut msg);
         assert_eq!(pcf.stats().rejected_messages, 2);
     }
 

@@ -189,15 +189,16 @@ impl<'g, P: Payload> Protocol for PushFlow<'g, P> {
         self.flows[idx].clone()
     }
 
-    fn on_receive(&mut self, node: NodeId, from: NodeId, msg: Mass<P>) {
-        if !Self::msg_plausible(self.guard, &msg) {
+    fn on_receive(&mut self, node: NodeId, from: NodeId, msg: &mut Mass<P>) {
+        if !Self::msg_plausible(self.guard, msg) {
             return; // corrupted beyond plausibility: treat as lost
         }
         // Fig. 1 line 6: f_{i,j} ← −f_{j,i}. Overwrite semantics: whatever
         // our mirror held (possibly corrupted) is discarded — this is the
         // self-healing step.
         let idx = self.arc(node, from);
-        self.flows[idx] = msg.negated();
+        msg.negate();
+        std::mem::swap(&mut self.flows[idx], msg);
     }
 
     fn on_link_failed(&mut self, node: NodeId, neighbor: NodeId) {
@@ -306,8 +307,8 @@ mod tests {
     /// delivered). With no crossing messages, flow conservation holds on
     /// every edge after every exchange.
     fn exchange(pf: &mut PushFlow<'_, f64>, i: NodeId, k: NodeId) {
-        let msg = pf.on_send(i, k);
-        pf.on_receive(k, i, msg);
+        let mut msg = pf.on_send(i, k);
+        pf.on_receive(k, i, &mut msg);
     }
 
     #[test]
@@ -520,10 +521,10 @@ mod tests {
             let i: NodeId = rng.random_range(0..8);
             let nbrs = g.neighbors(i);
             let k = nbrs[rng.random_range(0..nbrs.len())];
-            let m1 = plain.on_send(i, k);
-            plain.on_receive(k, i, m1);
-            let m2 = comp.on_send(i, k);
-            comp.on_receive(k, i, m2);
+            let mut m1 = plain.on_send(i, k);
+            plain.on_receive(k, i, &mut m1);
+            let mut m2 = comp.on_send(i, k);
+            comp.on_receive(k, i, &mut m2);
         }
         for i in 0..8 {
             let a = plain.scalar_estimate(i);
@@ -541,15 +542,15 @@ mod tests {
         let data = avg_data(2, 31);
         let mut pf = PushFlow::new(&g, &data).with_guard(100.0);
         // plausible message accepted
-        pf.on_receive(0, 1, Mass::new(3.0, 1.0));
+        pf.on_receive(0, 1, &mut Mass::new(3.0, 1.0));
         assert_eq!(pf.flow(0, 1).value, -3.0);
         // huge (exponent-flipped) message rejected: state unchanged
-        pf.on_receive(0, 1, Mass::new(1e30, 1.0));
+        pf.on_receive(0, 1, &mut Mass::new(1e30, 1.0));
         assert_eq!(pf.flow(0, 1).value, -3.0);
         // non-finite rejected too
-        pf.on_receive(0, 1, Mass::new(f64::NAN, 1.0));
+        pf.on_receive(0, 1, &mut Mass::new(f64::NAN, 1.0));
         assert_eq!(pf.flow(0, 1).value, -3.0);
-        pf.on_receive(0, 1, Mass::new(1.0, f64::INFINITY));
+        pf.on_receive(0, 1, &mut Mass::new(1.0, f64::INFINITY));
         assert_eq!(pf.flow(0, 1).value, -3.0);
     }
 
@@ -587,6 +588,6 @@ mod tests {
         let g = bus(3);
         let data = avg_data(3, 0);
         let mut pf = PushFlow::new(&g, &data);
-        pf.on_receive(0, 2, Mass::new(1.0, 1.0));
+        pf.on_receive(0, 2, &mut Mass::new(1.0, 1.0));
     }
 }

@@ -70,8 +70,8 @@ impl<P: Payload> Protocol for PushPullSum<P> {
         m.clone()
     }
 
-    fn on_receive(&mut self, node: NodeId, _from: NodeId, msg: Mass<P>) {
-        self.mass[node as usize].add_assign(&msg);
+    fn on_receive(&mut self, node: NodeId, _from: NodeId, msg: &mut Mass<P>) {
+        self.mass[node as usize].add_assign(msg);
     }
 
     fn reply(&mut self, node: NodeId, _from: NodeId) -> Option<Mass<P>> {

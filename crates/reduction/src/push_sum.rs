@@ -61,8 +61,8 @@ impl<P: Payload> Protocol for PushSum<P> {
         m.clone()
     }
 
-    fn on_receive(&mut self, node: NodeId, _from: NodeId, msg: Mass<P>) {
-        self.mass[node as usize].add_assign(&msg);
+    fn on_receive(&mut self, node: NodeId, _from: NodeId, msg: &mut Mass<P>) {
+        self.mass[node as usize].add_assign(msg);
     }
 
     // No `on_link_failed` override: push-sum has no failure handling.

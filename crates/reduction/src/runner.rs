@@ -146,21 +146,10 @@ pub fn mass_reference<P: ReductionProtocol + ?Sized>(
     proto: &P,
     nodes: impl Iterator<Item = NodeId>,
 ) -> Option<Vec<Dd>> {
-    let dim = proto.dim();
-    let mut vsum = vec![Dd::ZERO; dim];
-    let mut wsum = Dd::ZERO;
-    let mut buf = vec![0.0; dim];
-    for i in nodes {
-        let w = proto.write_mass(i, &mut buf);
-        for (acc, &c) in vsum.iter_mut().zip(buf.iter()) {
-            *acc += c;
-        }
-        wsum += w;
-    }
-    if wsum.is_zero() {
-        return None;
-    }
-    Some(vsum.into_iter().map(|v| v / wsum).collect())
+    let mut out = Vec::new();
+    Measurer::new()
+        .mass_reference(proto, nodes, &mut out)
+        .then_some(out)
 }
 
 /// Measure the current error of `proto` against per-component references,
@@ -171,31 +160,101 @@ pub fn measure_error<P: ReductionProtocol + ?Sized>(
     alive: impl Iterator<Item = NodeId>,
     round: u64,
 ) -> ErrorSample {
-    let dim = proto.dim();
-    let mut buf = vec![0.0; dim];
-    let mut per_node = Vec::new();
-    for i in alive {
-        proto.write_estimate(i, &mut buf);
-        let mut worst = 0.0f64;
-        for (k, &r) in refs.iter().enumerate() {
-            let e = gr_numerics::relative_error(buf[k], r);
-            // NB: `f64::max` would silently drop a NaN operand; treat any
-            // non-comparable value as a destroyed estimate.
-            if e.is_nan() {
-                worst = f64::INFINITY;
-            } else {
-                worst = worst.max(e);
-            }
-        }
-        per_node.push(worst);
+    Measurer::new().measure_error(proto, refs, alive, round)
+}
+
+/// Reusable scratch space for the oracle measurements. The run loop
+/// samples the error every few rounds; with a `Measurer` those samples
+/// reuse the same estimate/sort buffers instead of allocating four
+/// vectors per sample, which keeps the steady-state loop allocation-free.
+/// The free functions [`mass_reference`] and [`measure_error`] are
+/// one-shot wrappers around a fresh `Measurer`; results are bitwise
+/// identical either way.
+#[derive(Clone, Debug, Default)]
+pub struct Measurer {
+    /// Per-node estimate buffer (`dim` wide).
+    buf: Vec<f64>,
+    /// Per-node worst-component error of the current sample.
+    per_node: Vec<f64>,
+    /// Sort scratch for the order statistics.
+    sorted: Vec<f64>,
+    /// Component accumulators for the mass reference.
+    vsum: Vec<Dd>,
+}
+
+impl Measurer {
+    /// A measurer with empty (lazily grown) buffers.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let e = RelErr::of(per_node.iter().copied(), Dd::ZERO);
-    // RelErr::of against a zero reference returns absolute values — i.e.
-    // the numbers themselves; reuse its max/median machinery.
-    ErrorSample {
-        round,
-        max: e.max,
-        median: e.median,
+
+    /// In-place [`mass_reference`]: writes the survivors' achievable
+    /// aggregate into `out` and returns `true`, or returns `false`
+    /// leaving `out` untouched when the remaining weight is zero (the
+    /// aggregate is then undefined).
+    pub fn mass_reference<P: ReductionProtocol + ?Sized>(
+        &mut self,
+        proto: &P,
+        nodes: impl Iterator<Item = NodeId>,
+        out: &mut Vec<Dd>,
+    ) -> bool {
+        let dim = proto.dim();
+        self.vsum.clear();
+        self.vsum.resize(dim, Dd::ZERO);
+        self.buf.clear();
+        self.buf.resize(dim, 0.0);
+        let mut wsum = Dd::ZERO;
+        for i in nodes {
+            let w = proto.write_mass(i, &mut self.buf);
+            for (acc, &c) in self.vsum.iter_mut().zip(self.buf.iter()) {
+                *acc += c;
+            }
+            wsum += w;
+        }
+        if wsum.is_zero() {
+            return false;
+        }
+        out.clear();
+        out.extend(self.vsum.iter().map(|&v| v / wsum));
+        true
+    }
+
+    /// In-place [`measure_error`]: identical arithmetic, reused buffers.
+    pub fn measure_error<P: ReductionProtocol + ?Sized>(
+        &mut self,
+        proto: &P,
+        refs: &[Dd],
+        alive: impl Iterator<Item = NodeId>,
+        round: u64,
+    ) -> ErrorSample {
+        let dim = proto.dim();
+        self.buf.clear();
+        self.buf.resize(dim, 0.0);
+        self.per_node.clear();
+        for i in alive {
+            proto.write_estimate(i, &mut self.buf);
+            let mut worst = 0.0f64;
+            for (k, &r) in refs.iter().enumerate() {
+                let e = gr_numerics::relative_error(self.buf[k], r);
+                // NB: `f64::max` would silently drop a NaN operand; treat
+                // any non-comparable value as a destroyed estimate.
+                if e.is_nan() {
+                    worst = f64::INFINITY;
+                } else {
+                    worst = worst.max(e);
+                }
+            }
+            self.per_node.push(worst);
+        }
+        // RelErr against a zero reference returns absolute values — i.e.
+        // the numbers themselves; reuse its max/median machinery (the
+        // scratch variant is bitwise-identical to `RelErr::of`).
+        let e = RelErr::of_with_scratch(self.per_node.iter().copied(), Dd::ZERO, &mut self.sorted);
+        ErrorSample {
+            round,
+            max: e.max,
+            median: e.median,
+        }
     }
 }
 
@@ -263,6 +322,7 @@ where
     Pr: ReductionProtocol,
 {
     let mut sim = Simulator::with_options(graph, protocol, plan, seed, options);
+    let mut measurer = Measurer::new();
     let mut refs = data.reference();
     let mut alive_count = graph.len();
     let mut crashed = false;
@@ -295,11 +355,11 @@ where
                 alive_count = now_alive;
                 crashed = true;
             }
-            if crashed {
-                refs = mass_reference(sim.protocol(), sim.alive_nodes())
-                    .unwrap_or_else(|| vec![Dd::ZERO; data.dim()]);
+            if crashed && !measurer.mass_reference(sim.protocol(), sim.alive_nodes(), &mut refs) {
+                refs.clear();
+                refs.resize(data.dim(), Dd::ZERO);
             }
-            let sample = measure_error(sim.protocol(), &refs, sim.alive_nodes(), round);
+            let sample = measurer.measure_error(sim.protocol(), &refs, sim.alive_nodes(), round);
             if cfg.record_every > 0 {
                 series.push(sample);
             }

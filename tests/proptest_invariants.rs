@@ -54,8 +54,8 @@ proptest! {
         let mut pf = PushFlow::new(&g, &data);
         for pick in schedule {
             let (i, k) = resolve(&g, pick);
-            let msg = pf.on_send(i, k);
-            pf.on_receive(k, i, msg);
+            let mut msg = pf.on_send(i, k);
+            pf.on_receive(k, i, &mut msg);
             let (v, w) = total_estimate(&pf, 8);
             prop_assert!((w - 8.0).abs() < 1e-8, "weight {w}");
             prop_assert!((v - v0).abs() < 1e-6 * v0.abs().max(1.0), "value {v} vs {v0}");
@@ -77,8 +77,8 @@ proptest! {
         let mut pcf = PushCancelFlow::with_mode(&g, &data, mode);
         for pick in schedule {
             let (i, k) = resolve(&g, pick);
-            let msg = pcf.on_send(i, k);
-            pcf.on_receive(k, i, msg);
+            let mut msg = pcf.on_send(i, k);
+            pcf.on_receive(k, i, &mut msg);
             let (v, w) = total_estimate(&pcf, 8);
             prop_assert!((w - 8.0).abs() < 1e-8, "weight {w}");
             prop_assert!((v - v0).abs() < 1e-6 * v0.abs().max(1.0), "value {v} vs {v0}");
@@ -98,10 +98,10 @@ proptest! {
         let mut pcf = PushCancelFlow::new(&g, &data);
         for pick in &schedule {
             let (i, k) = resolve(&g, *pick);
-            let m1 = pf.on_send(i, k);
-            pf.on_receive(k, i, m1);
-            let m2 = pcf.on_send(i, k);
-            pcf.on_receive(k, i, m2);
+            let mut m1 = pf.on_send(i, k);
+            pf.on_receive(k, i, &mut m1);
+            let mut m2 = pcf.on_send(i, k);
+            pcf.on_receive(k, i, &mut m2);
         }
         for i in 0..16 {
             let a = pf.scalar_estimate(i);
@@ -122,8 +122,8 @@ proptest! {
         let mut pcf = PushCancelFlow::new(&g, &data);
         for pick in schedule {
             let (i, k) = resolve(&g, pick);
-            let msg = pcf.on_send(i, k);
-            pcf.on_receive(k, i, msg);
+            let mut msg = pcf.on_send(i, k);
+            pcf.on_receive(k, i, &mut msg);
             for (a, b) in g.edges() {
                 let ra = pcf.swap_round(a, b);
                 let rb = pcf.swap_round(b, a);
@@ -147,8 +147,8 @@ proptest! {
         let mut pcf = PushCancelFlow::with_mode(&g, &data, mode);
         for pick in schedule {
             let (i, k) = resolve(&g, pick);
-            let msg = pcf.on_send(i, k);
-            pcf.on_receive(k, i, msg);
+            let mut msg = pcf.on_send(i, k);
+            pcf.on_receive(k, i, &mut msg);
         }
         let (a, b) = resolve(&g, edge_sel);
         let before: Vec<f64> = pcf.scalar_estimates();
@@ -177,8 +177,8 @@ proptest! {
         let mut pf = PushFlow::new(&g, &data);
         for pick in schedule {
             let (i, k) = resolve(&g, pick);
-            let msg = pf.on_send(i, k);
-            pf.on_receive(k, i, msg);
+            let mut msg = pf.on_send(i, k);
+            pf.on_receive(k, i, &mut msg);
         }
         let (a, b) = resolve(&g, edge_sel);
         let flow_ab = pf.flow(a, b).clone();
