@@ -86,8 +86,7 @@ fn bench_fault_injection_overhead(c: &mut Criterion) {
         let plan = FaultPlan {
             msg_loss_prob: 0.1,
             bit_flip_prob: 0.01,
-            link_failures: vec![],
-            node_crashes: vec![],
+            ..FaultPlan::none()
         };
         let mut sim = Simulator::new(&g, PushCancelFlow::new(&g, &d), plan, 2);
         b.iter(|| sim.step());

@@ -39,6 +39,7 @@ fn stress_plan() -> FaultPlan {
             at_round: 24,
             detect_delay: 4,
         }],
+        ..FaultPlan::none()
     }
 }
 

@@ -40,7 +40,9 @@ pub mod runner;
 pub mod scenario;
 
 pub use oracle::{Invariant, Oracle, Violation};
-pub use report::{find_scenario, render_replay, run_campaign, CampaignReport};
+pub use report::{
+    baseline_fingerprints, find_scenario, render_replay, run_campaign, CampaignReport,
+};
 pub use runner::{run_scenario, run_scenario_traced, ScenarioResult, CHECK_EVERY};
 pub use scenario::{
     sanity_corpus, shard_corpus, stress_corpus, Lane, Scenario, TopologyKind, DEFAULT_SANITY_SEEDS,

@@ -8,11 +8,12 @@
 //! gr-campaign --mode stress --replay <fp>   # re-run one fingerprint, dump trace tail
 //! gr-campaign --mode sanity --list          # print the corpus without running it
 //! gr-campaign --mode sanity --json out.json # also write the machine-readable report
+//! gr-campaign --mode stress --baseline b.json  # exit 1 on violations NOT in b.json
 //! ```
 
 use gr_campaign::{
-    find_scenario, render_replay, run_campaign, sanity_corpus, shard_corpus, stress_corpus, Lane,
-    DEFAULT_SANITY_SEEDS, DEFAULT_STRESS_SEEDS,
+    baseline_fingerprints, find_scenario, render_replay, run_campaign, sanity_corpus, shard_corpus,
+    stress_corpus, Lane, DEFAULT_SANITY_SEEDS, DEFAULT_STRESS_SEEDS,
 };
 use gr_experiments::parallel::default_threads;
 use gr_experiments::Opts;
@@ -45,6 +46,7 @@ fn main() {
     let list = opts.bool("list", false);
     let threads = opts.u64("threads", default_threads() as u64) as usize;
     let json_path = opts.string("json", "");
+    let baseline_path = opts.string("baseline", "");
     opts.finish();
 
     if !replay.is_empty() {
@@ -92,6 +94,42 @@ fn main() {
     if !json_path.is_empty() {
         let j = serde_json::to_string_pretty(&report.to_json()).unwrap();
         std::fs::write(&json_path, j).unwrap_or_else(|e| panic!("writing {json_path:?}: {e}"));
+    }
+    // --baseline turns the trend lane into a regression gate: violations
+    // whose fingerprint (scenario hash + invariant) appears in the
+    // committed baseline report are known findings and stay non-fatal;
+    // any fingerprint *not* in the baseline is a new failure mode and
+    // fails the run.
+    if !baseline_path.is_empty() {
+        let raw = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {baseline_path:?}: {e}"));
+        let parsed: serde_json::Value = serde_json::from_str(&raw)
+            .unwrap_or_else(|e| panic!("parsing baseline {baseline_path:?}: {e}"));
+        let known = baseline_fingerprints(&parsed);
+        let fresh = report.new_violations(&known);
+        if fresh.is_empty() {
+            println!(
+                "baseline: no new violation fingerprints ({} known in {})",
+                known.len(),
+                baseline_path
+            );
+        } else {
+            println!(
+                "baseline: {} NEW violation fingerprint(s) not in {}:",
+                fresh.len(),
+                baseline_path
+            );
+            for fp in &fresh {
+                let hash = fp.split(':').next().unwrap();
+                println!("  {fp}");
+                println!(
+                    "    replay: cargo run -p gr-campaign -- --mode {} --replay {}",
+                    lane.label(),
+                    hash
+                );
+            }
+            std::process::exit(1);
+        }
     }
     // The sanity lane is a hard gate; stress violations are findings, not
     // build failures.

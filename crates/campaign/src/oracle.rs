@@ -24,7 +24,7 @@
 //!   (~1e±300) — while tolerating every legitimate transient.
 
 use crate::scenario::{Lane, Scenario};
-use gr_reduction::{Algorithm, InitialData, ReductionProtocol};
+use gr_reduction::{Algorithm, InitialData, Payload, ReductionProtocol};
 use gr_topology::NodeId;
 
 /// The checked invariant set. Order in [`Invariant::label`]'s doc is the
@@ -43,8 +43,9 @@ pub enum Invariant {
     /// bound — for PCF, `O(max initial magnitude)`: the paper's central
     /// structural claim.
     FlowMagnitude,
-    /// Sanity lane only: the run reaches the target accuracy against the
-    /// true aggregate within the round budget.
+    /// The run reaches the target accuracy against the true aggregate
+    /// within the round budget (always checked in the sanity lane; in
+    /// the stress lane only when the scenario sets an explicit target).
     Convergence,
     /// Stress lane, scheduled faults only: survivors re-converge to the
     /// survivor aggregate by the end of the post-fault window.
@@ -85,8 +86,10 @@ pub struct Violation {
 /// Per-run oracle state (tolerances + running expectations).
 pub struct Oracle {
     lane: Lane,
-    /// Expected Σ value-mass over the tracked alive set.
-    expected_value: f64,
+    /// Payload components per node value.
+    dim: usize,
+    /// Expected Σ value-mass per component over the tracked alive set.
+    expected_values: Vec<f64>,
     /// Expected Σ weight over the tracked alive set.
     expected_weight: f64,
     /// Alive count at the last checkpoint (shrink ⇒ re-base).
@@ -107,19 +110,26 @@ const DIVERGENCE_FLOOR: f64 = 1e-6;
 const RECONVERGENCE_EPS: f64 = 1e-6;
 
 impl Oracle {
-    /// Build the oracle for one scenario over its workload.
-    pub fn new(sc: &Scenario, data: &InitialData<f64>) -> Self {
-        assert_eq!(data.dim(), 1, "campaign oracle is scalar");
+    /// Build the oracle for one scenario over its workload (any payload
+    /// dimension — vector workloads are checked componentwise).
+    pub fn new<P: Payload>(sc: &Scenario, data: &InitialData<P>) -> Self {
         let n = data.len();
+        let dim = data.dim();
         let mut scale = 1.0;
         let mut max_init = 0.0f64;
+        let mut expected_values = vec![0.0f64; dim];
+        let mut expected_weight = 0.0f64;
         for i in 0..n {
-            let (v, w) = (*data.value(i), data.weight(i));
-            scale += v.abs() + w.abs();
-            max_init = max_init.max(v.abs()).max(w.abs());
+            let w = data.weight(i);
+            scale += w.abs();
+            max_init = max_init.max(w.abs());
+            for (k, &c) in data.value(i).components().iter().enumerate() {
+                scale += c.abs();
+                max_init = max_init.max(c.abs());
+                expected_values[k] += c;
+            }
+            expected_weight += w;
         }
-        let expected_value: f64 = (0..n).map(|i| *data.value(i)).sum();
-        let expected_weight: f64 = (0..n).map(|i| data.weight(i)).sum();
 
         // Tolerances. Sanity: rounding headroom only (conservation and
         // PF/FU antisymmetry are exact in exact arithmetic under atomic
@@ -147,7 +157,8 @@ impl Oracle {
 
         Oracle {
             lane: sc.lane,
-            expected_value,
+            dim,
+            expected_values,
             expected_weight,
             alive_count: n,
             last_fault_round: sc.last_fault_round(),
@@ -201,6 +212,21 @@ impl Oracle {
                 }
             }
             Lane::Stress => {
+                // An explicit accuracy target turns convergence into a
+                // checked invariant in the stress lane too (no default
+                // stress scenario sets one, but replay/bisection cases
+                // do).
+                if sc.target_accuracy > 0.0 && final_err > sc.target_accuracy {
+                    return Some(Violation {
+                        invariant: Invariant::Convergence,
+                        round,
+                        node: worst_node,
+                        detail: format!(
+                            "max relative error {final_err:e} above target {:e} at round cap",
+                            sc.target_accuracy
+                        ),
+                    });
+                }
                 if sc.has_scheduled_faults() && final_err > RECONVERGENCE_EPS {
                     return Some(Violation {
                         invariant: Invariant::SurvivorReconvergence,
@@ -237,42 +263,48 @@ impl Oracle {
         alive: &[NodeId],
         round: u64,
     ) -> Option<Violation> {
-        let mut buf = [0.0f64];
-        let mut vsum = 0.0;
+        let mut buf = vec![0.0f64; self.dim];
+        let mut vsum = vec![0.0f64; self.dim];
         let mut wsum = 0.0;
         let mut worst_node = *alive.first()?;
         let mut worst_mag = f64::NEG_INFINITY;
         for &i in alive {
             let w = proto.write_mass(i, &mut buf);
-            if !w.is_finite() || !buf[0].is_finite() {
+            if !w.is_finite() || buf.iter().any(|c| !c.is_finite()) {
+                let bad = buf.iter().copied().find(|c| !c.is_finite()).unwrap_or(w);
                 return Some(Violation {
                     invariant: Invariant::MassConservation,
                     round,
                     node: i,
-                    detail: format!(
-                        "non-finite mass at node {i}: value={:e} weight={w:e}",
-                        buf[0]
-                    ),
+                    detail: format!("non-finite mass at node {i}: value={bad:e} weight={w:e}"),
                 });
             }
-            if buf[0].abs() > worst_mag {
-                worst_mag = buf[0].abs();
+            let mag = buf.iter().fold(0.0f64, |a, c| a.max(c.abs()));
+            if mag > worst_mag {
+                worst_mag = mag;
                 worst_node = i;
             }
-            vsum += buf[0];
+            for (acc, &c) in vsum.iter_mut().zip(&buf) {
+                *acc += c;
+            }
             wsum += w;
         }
         if alive.len() != self.alive_count {
-            // The alive set shrank since the last checkpoint: the dead
-            // nodes took their current holdings with them, so re-base the
-            // expectation on the survivors' observed total. (Exact loss
-            // accounting would need a snapshot at the crash instant.)
+            // The alive set changed since the last checkpoint — dead
+            // nodes took their current holdings with them, a restarted
+            // node re-contributed its initial mass — so re-base the
+            // expectation on the observed total. (Exact loss accounting
+            // would need a snapshot at the crash/restart instant.)
             self.alive_count = alive.len();
-            self.expected_value = vsum;
+            self.expected_values = vsum;
             self.expected_weight = wsum;
             return None;
         }
-        let dv = (vsum - self.expected_value).abs();
+        let dv = vsum
+            .iter()
+            .zip(&self.expected_values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
         let dw = (wsum - self.expected_weight).abs();
         if dv > self.mass_tol || dw > self.mass_tol {
             return Some(Violation {
@@ -294,13 +326,15 @@ impl Oracle {
         edges: &[(NodeId, NodeId)],
         round: u64,
     ) -> Option<Violation> {
-        let mut fij = [0.0f64];
-        let mut fji = [0.0f64];
+        let mut fij = vec![0.0f64; self.dim];
+        let mut fji = vec![0.0f64; self.dim];
         for &(i, j) in edges {
             let wij = proto.write_flow(i, j, &mut fij)?; // None: flow-less protocol
             let wji = proto.write_flow(j, i, &mut fji)?;
-            let comps = [fij[0], fji[0], wij, wji];
-            if comps.iter().any(|c| !c.is_finite()) {
+            if !wij.is_finite()
+                || !wji.is_finite()
+                || fij.iter().chain(fji.iter()).any(|c| !c.is_finite())
+            {
                 return Some(Violation {
                     invariant: Invariant::FlowMagnitude,
                     round,
@@ -312,7 +346,11 @@ impl Oracle {
                     ),
                 });
             }
-            let rv = (fij[0] + fji[0]).abs();
+            let rv = fij
+                .iter()
+                .zip(&fji)
+                .map(|(a, b)| (a + b).abs())
+                .fold(0.0f64, f64::max);
             let rw = (wij + wji).abs();
             if rv > self.antisym_tol || rw > self.antisym_tol {
                 return Some(Violation {
@@ -336,7 +374,7 @@ impl Oracle {
                 for &(i, j) in edges {
                     for (a, b) in [(i, j), (j, i)] {
                         if proto.write_flow(a, b, &mut fij).is_some() {
-                            let mag = fij[0].abs();
+                            let mag = fij.iter().fold(0.0f64, |m, c| m.max(c.abs()));
                             if mag > best {
                                 best = mag;
                                 node = a.min(b);

@@ -142,6 +142,57 @@ fn result_json(r: &ScenarioResult) -> Value {
     ])
 }
 
+/// A violation fingerprint stable across runs and machines:
+/// `scenario-hash:invariant`. The scenario hash pins the full canonical
+/// configuration (template, algorithm, seed, fault plan, execution
+/// model), so a fingerprint absent from a baseline means a *new* kind of
+/// failure, not a known finding that moved by a few rounds.
+fn violation_fingerprint(hash: &str, invariant: &str) -> String {
+    format!("{hash}:{invariant}")
+}
+
+impl CampaignReport {
+    /// The fingerprints of every violation in this report, corpus order.
+    pub fn violation_fingerprints(&self) -> Vec<String> {
+        self.violations()
+            .map(|r| {
+                violation_fingerprint(&r.hash, r.violation.as_ref().unwrap().invariant.label())
+            })
+            .collect()
+    }
+
+    /// Fingerprints present here but absent from `baseline` — the
+    /// regressions a trend lane gates on. Known findings disappearing is
+    /// progress, not a failure, so the diff is one-directional.
+    pub fn new_violations(&self, baseline: &[String]) -> Vec<String> {
+        self.violation_fingerprints()
+            .into_iter()
+            .filter(|fp| !baseline.iter().any(|b| b == fp))
+            .collect()
+    }
+}
+
+/// Extract violation fingerprints from a previously written `--json`
+/// report (the committed stress baseline). Panics on a malformed file:
+/// a corrupt baseline must fail the gate loudly, not pass it silently.
+pub fn baseline_fingerprints(report: &Value) -> Vec<String> {
+    let scenarios = report["scenarios"]
+        .as_array()
+        .expect("baseline report has a scenarios array");
+    scenarios
+        .iter()
+        .filter(|s| !s["violation"].is_null())
+        .map(|s| {
+            violation_fingerprint(
+                s["hash"].as_str().expect("scenario hash"),
+                s["violation"]["invariant"]
+                    .as_str()
+                    .expect("violation invariant"),
+            )
+        })
+        .collect()
+}
+
 /// Find the scenario with the given fingerprint hash in a corpus. The
 /// hash is not invertible: replay works by regenerating the (pure,
 /// deterministic) corpus and matching.
@@ -245,6 +296,53 @@ mod tests {
             serde_json::to_string(&merged.to_json()).unwrap(),
             serde_json::to_string(&full.to_json()).unwrap()
         );
+    }
+
+    #[test]
+    fn baseline_diff_flags_only_new_fingerprints() {
+        use crate::oracle::{Invariant, Violation};
+        let result = |hash: &str, violation: Option<Violation>| ScenarioResult {
+            hash: hash.to_string(),
+            template: "t".to_string(),
+            algorithm: "PCF",
+            topology: "ring(4)".to_string(),
+            seed: 1,
+            rounds: 10,
+            final_err: 0.0,
+            stats: Default::default(),
+            violation,
+        };
+        let viol = |inv: Invariant| {
+            Some(Violation {
+                invariant: inv,
+                round: 5,
+                node: 0,
+                detail: "d".to_string(),
+            })
+        };
+        let report = CampaignReport {
+            lane: Lane::Stress,
+            results: vec![
+                result("aaaa", viol(Invariant::MassConservation)),
+                result("bbbb", None),
+                result("cccc", viol(Invariant::FlowMagnitude)),
+            ],
+        };
+        let fps = report.violation_fingerprints();
+        assert_eq!(fps.len(), 2);
+        assert_eq!(fps[0], "aaaa:MassConservation");
+
+        // The baseline round-trips through the --json report format.
+        let known = baseline_fingerprints(&report.to_json());
+        assert_eq!(known, fps);
+        assert!(report.new_violations(&known).is_empty());
+
+        // A baseline missing one finding flags exactly that one; extra
+        // baseline entries (fixed findings) flag nothing.
+        assert_eq!(report.new_violations(&fps[..1]), vec![fps[1].clone()]);
+        let mut extra = known.clone();
+        extra.push("dddd:Convergence".to_string());
+        assert!(report.new_violations(&extra).is_empty());
     }
 
     #[test]

@@ -1,22 +1,26 @@
 //! Scenario execution: build the simulation, drive it checkpoint by
 //! checkpoint, and let the oracle watch.
 //!
-//! Every scenario runs under **asynchronous activation** (atomic
-//! exchanges — see the module docs on [`crate::scenario`] for why that is
-//! load-bearing for the oracle's tolerances). The oracle is consulted
-//! every [`CHECK_EVERY`] rounds; the first violation ends the run, so the
+//! Each scenario supplies its own execution model via
+//! [`Scenario::sim_options`] — zero-delay scenarios run under
+//! asynchronous activation (atomic exchanges — see the module docs on
+//! [`crate::scenario`] for why that is load-bearing for the oracle's
+//! tolerances), delay-bearing ones under synchronous activation with a
+//! timeout failure detector. The oracle is consulted every
+//! [`CHECK_EVERY`] rounds; the first violation ends the run, so the
 //! fingerprinted `(invariant, round, node)` triple always names the
 //! *earliest* detected failure.
 
 use crate::oracle::{Oracle, Violation};
-use crate::scenario::Scenario;
-use gr_netsim::{Activation, Protocol, SimOptions, SimStats, Simulator, Trace};
+use crate::scenario::{Scenario, Workload};
+use gr_netsim::{Protocol, SimStats, Simulator, Trace};
 use gr_numerics::{relative_error, Dd};
 use gr_reduction::{
-    mass_reference, AggregateKind, Algorithm, FlowUpdating, InitialData, PushCancelFlow, PushFlow,
-    PushSum, ReductionProtocol,
+    mass_reference, AggregateKind, Algorithm, FlowUpdating, InitialData, Payload, PushCancelFlow,
+    PushFlow, PushSum, ReductionProtocol,
 };
 use gr_topology::{Graph, NodeId};
+use rand::prelude::*;
 
 /// Oracle checkpoint cadence, in rounds.
 pub const CHECK_EVERY: u64 = 16;
@@ -56,51 +60,67 @@ pub fn run_scenario_traced(
     trace_capacity: Option<usize>,
 ) -> (ScenarioResult, Option<Trace>) {
     let graph = sc.topology.build();
-    let data = InitialData::uniform_random(graph.len(), AggregateKind::Average, sc.seed);
+    match sc.workload {
+        Workload::Average | Workload::Sum => {
+            let data = InitialData::uniform_random(graph.len(), sc.workload.kind(), sc.seed);
+            dispatch(sc, &graph, &data, trace_capacity)
+        }
+        Workload::VectorAvg { dim } => {
+            let data = vector_data(graph.len(), dim, sc.seed);
+            dispatch(sc, &graph, &data, trace_capacity)
+        }
+    }
+}
+
+/// Deterministic vector workload: `dim` uniform components per node,
+/// same seeding discipline as `InitialData::uniform_random`.
+fn vector_data(n: usize, dim: usize, seed: u64) -> InitialData<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    InitialData::with_kind(values, AggregateKind::Average)
+}
+
+fn dispatch<P: Payload>(
+    sc: &Scenario,
+    graph: &Graph,
+    data: &InitialData<P>,
+    trace_capacity: Option<usize>,
+) -> (ScenarioResult, Option<Trace>) {
     match sc.algorithm {
-        Algorithm::PushSum => drive(
-            sc,
-            &graph,
-            &data,
-            PushSum::new(&graph, &data),
-            trace_capacity,
-        ),
-        Algorithm::PushFlow => drive(
-            sc,
-            &graph,
-            &data,
-            PushFlow::new(&graph, &data),
-            trace_capacity,
-        ),
+        Algorithm::PushSum => drive(sc, graph, data, PushSum::new(graph, data), trace_capacity),
+        Algorithm::PushFlow => drive(sc, graph, data, PushFlow::new(graph, data), trace_capacity),
         Algorithm::PushCancelFlow(mode) => drive(
             sc,
-            &graph,
-            &data,
-            PushCancelFlow::with_mode(&graph, &data, mode),
+            graph,
+            data,
+            PushCancelFlow::with_mode(graph, data, mode),
             trace_capacity,
         ),
         Algorithm::FlowUpdating => drive(
             sc,
-            &graph,
-            &data,
-            FlowUpdating::new(&graph, &data),
+            graph,
+            data,
+            FlowUpdating::new(graph, data),
             trace_capacity,
         ),
     }
 }
 
-fn drive<Pr: ReductionProtocol>(
+fn drive<P: Payload, Pr: ReductionProtocol>(
     sc: &Scenario,
     graph: &Graph,
-    data: &InitialData<f64>,
+    data: &InitialData<P>,
     protocol: Pr,
     trace_capacity: Option<usize>,
 ) -> (ScenarioResult, Option<Trace>) {
-    let options = SimOptions {
-        activation: Activation::Asynchronous,
-        ..SimOptions::default()
-    };
-    let mut sim = Simulator::with_options(graph, protocol, sc.fault_plan(), sc.seed, options);
+    // The corpus builders only produce valid execution models; a
+    // hand-built scenario that violates the netsim config rules is
+    // reported through the typed `SimConfigError` here.
+    let mut sim =
+        Simulator::try_with_options(graph, protocol, sc.fault_plan(), sc.seed, sc.sim_options())
+            .unwrap_or_else(|e| panic!("scenario {}: invalid execution model: {e}", sc.hash()));
     if let Some(cap) = trace_capacity {
         sim.enable_trace(cap);
     }
@@ -205,6 +225,7 @@ fn mutual_edges<Pr: Protocol>(sim: &Simulator<'_, Pr>, alive: &[NodeId]) -> Vec<
 mod tests {
     use super::*;
     use crate::scenario::{sanity_corpus, stress_corpus, Lane};
+    use gr_reduction::PhiMode;
 
     #[test]
     fn sanity_scenario_converges_cleanly() {
@@ -232,6 +253,93 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.final_err.to_bits(), b.final_err.to_bits());
         assert_eq!(a.violation, b.violation);
+    }
+
+    #[test]
+    fn timeout_heal_scenario_is_violation_free_for_pcf() {
+        // The headline robustness case: a local timeout failure detector
+        // under uniform message delay (false suspicions happen and are
+        // rehabilitated), a scheduled link failure detected only through
+        // silence, and a later link heal. PCF must ride through the
+        // whole cycle with zero oracle violations and reconverge.
+        let corpus = stress_corpus(&[1]);
+        let cases: Vec<_> = corpus
+            .iter()
+            .filter(|s| {
+                s.template.starts_with("timeout+heal/")
+                    && matches!(s.algorithm, Algorithm::PushCancelFlow(_))
+            })
+            .collect();
+        assert_eq!(cases.len(), 2, "both PCF modes are in the corpus");
+        for sc in cases {
+            let r = run_scenario(sc);
+            assert!(
+                r.violation.is_none(),
+                "{}: {:?}",
+                sc.canonical(),
+                r.violation
+            );
+            assert!(
+                r.final_err < 1e-6,
+                "{}: err={:e}",
+                sc.canonical(),
+                r.final_err
+            );
+            assert!(r.stats.suspected > 0, "timeout detector never fired");
+        }
+    }
+
+    #[test]
+    fn restart_scenario_reconverges_for_pcf() {
+        // Crash, then a scheduled restart: the rejoining node must be
+        // counted exactly once and the network reconverges to the new
+        // aggregate with no oracle violation.
+        let corpus = stress_corpus(&[1]);
+        let sc = corpus
+            .iter()
+            .find(|s| {
+                s.template.starts_with("restart/")
+                    && s.algorithm == Algorithm::PushCancelFlow(PhiMode::Hardened)
+            })
+            .unwrap();
+        let r = run_scenario(sc);
+        assert!(
+            r.violation.is_none(),
+            "{}: {:?}",
+            sc.canonical(),
+            r.violation
+        );
+        assert!(r.final_err < 1e-6, "err={:e}", r.final_err);
+    }
+
+    #[test]
+    fn workload_scenarios_converge() {
+        let corpus = sanity_corpus(&[2]);
+        let sum = corpus
+            .iter()
+            .find(|s| {
+                s.template == "sum/complete16"
+                    && s.algorithm == Algorithm::PushCancelFlow(PhiMode::Hardened)
+            })
+            .unwrap();
+        let r = run_scenario(sum);
+        assert!(
+            r.violation.is_none(),
+            "{}: {:?}",
+            sum.canonical(),
+            r.violation
+        );
+        let vec = corpus
+            .iter()
+            .find(|s| s.template == "vec3/hypercube5" && s.algorithm == Algorithm::FlowUpdating)
+            .unwrap();
+        let r = run_scenario(vec);
+        assert!(
+            r.violation.is_none(),
+            "{}: {:?}",
+            vec.canonical(),
+            r.violation
+        );
     }
 
     #[test]

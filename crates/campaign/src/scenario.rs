@@ -8,19 +8,64 @@
 //! produce byte-identical scenarios, which is what makes hashes stable
 //! across report → replay round trips.
 //!
-//! All scenarios run under **asynchronous activation** (atomic exchanges,
-//! see `gr_netsim::Activation`). That choice is load-bearing for the
-//! oracle: with atomic exchanges a fault-free execution keeps pairwise
-//! flow antisymmetry and global mass conservation *exact* (up to f64
-//! rounding), so the sanity lane can use tight tolerances. Synchronous
-//! rounds allow crossing exchanges, which legitimately break both
-//! properties mid-flight and would force vacuous bounds.
+//! Zero-delay scenarios run under **asynchronous activation** (atomic
+//! exchanges, see `gr_netsim::Activation`). That choice is load-bearing
+//! for the oracle: with atomic exchanges a fault-free execution keeps
+//! pairwise flow antisymmetry and global mass conservation *exact* (up to
+//! f64 rounding), so the sanity lane can use tight tolerances.
+//! Synchronous rounds allow crossing exchanges, which legitimately break
+//! both properties mid-flight and would force vacuous bounds — which is
+//! exactly why the *delay-bearing* stress templates (the timeout-detector
+//! family) switch to **synchronous activation**: asynchronous activation
+//! models atomic exchanges and is incompatible with nonzero latency
+//! (`SimConfigError::AsyncWithDelay`), and those templates live in the
+//! stress lane, whose magnitude-screen tolerances absorb the in-flight
+//! transients. [`Scenario::sim_options`] encodes the choice and
+//! [`Scenario::validate`] surfaces the netsim config check per scenario.
 
 use crate::hash::{fnv1a64, hex16};
-use gr_netsim::{stream_rng, FaultPlan, RngStream};
-use gr_reduction::{Algorithm, PhiMode};
+use gr_netsim::{
+    stream_rng, Activation, DelayModel, DetectorModel, FaultPlan, RngStream, SimConfigError,
+    SimOptions,
+};
+use gr_reduction::{AggregateKind, Algorithm, PhiMode};
 use gr_topology::{complete, hypercube, ring, torus2d, Graph, NodeId};
 use rand::RngExt;
+
+/// What the nodes aggregate — the workload a scenario runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Scalar average (unit weights) — the paper's default experiment.
+    Average,
+    /// Scalar sum (weight 1 on node 0, 0 elsewhere). Flow updating is
+    /// average-only and is excluded from sum corpora.
+    Sum,
+    /// `dim`-component vector average (unit weights) — exercises the
+    /// vector payload path end to end.
+    VectorAvg {
+        /// Components per node value.
+        dim: usize,
+    },
+}
+
+impl Workload {
+    /// Stable label (templates, canonical encoding).
+    pub fn label(self) -> String {
+        match self {
+            Workload::Average => "avg".to_string(),
+            Workload::Sum => "sum".to_string(),
+            Workload::VectorAvg { dim } => format!("vec{dim}"),
+        }
+    }
+
+    /// The aggregate kind (weight assignment) this workload runs under.
+    pub fn kind(self) -> AggregateKind {
+        match self {
+            Workload::Average | Workload::VectorAvg { .. } => AggregateKind::Average,
+            Workload::Sum => AggregateKind::Sum,
+        }
+    }
+}
 
 /// Which campaign lane a scenario belongs to (resilience-plan style).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,6 +147,8 @@ pub struct Scenario {
     pub topology: TopologyKind,
     /// Algorithm under test.
     pub algorithm: Algorithm,
+    /// What the nodes aggregate.
+    pub workload: Workload,
     /// Master seed: workload, schedule, fault coins, fault placement.
     pub seed: u64,
     /// Hard round cap.
@@ -113,10 +160,23 @@ pub struct Scenario {
     pub loss: f64,
     /// Per-message bit-flip probability.
     pub bit_flips: f64,
-    /// Scheduled link failures `(a, b, round)`, immediately detected.
+    /// Largest per-message delay in rounds (`DelayModel::Uniform{0, max}`
+    /// when nonzero). Nonzero delay forces synchronous activation — see
+    /// the module docs.
+    pub delay_max: u64,
+    /// Timeout-detector window in rounds (`0` = the oracle detector).
+    pub detector_window: u64,
+    /// Scheduled link failures `(a, b, round)`, detected per the
+    /// scenario's detector model.
     pub link_failures: LinkFailures,
-    /// Scheduled node crashes `(node, round)`, immediately detected.
+    /// Scheduled link heals `(a, b, round)` — the failed link returns to
+    /// service and both endpoints re-admit each other.
+    pub link_heals: LinkFailures,
+    /// Scheduled node crashes `(node, round)`.
     pub crashes: Crashes,
+    /// Scheduled node restarts `(node, round)` — the crashed node rejoins
+    /// with fresh initial state and must be counted exactly once.
+    pub restarts: Crashes,
 }
 
 impl Scenario {
@@ -130,29 +190,79 @@ impl Scenario {
         for &(a, b, round) in &self.link_failures {
             plan = plan.fail_link(a, b, round);
         }
+        for &(a, b, round) in &self.link_heals {
+            plan = plan.heal_link(a, b, round);
+        }
         for &(node, round) in &self.crashes {
             plan = plan.crash_node(node, round);
+        }
+        for &(node, round) in &self.restarts {
+            plan = plan.restart_node(node, round);
         }
         plan
     }
 
+    /// The execution-model options this scenario runs under. Nonzero
+    /// delay forces synchronous activation (asynchronous activation
+    /// models atomic exchanges — the combination is a
+    /// [`SimConfigError::AsyncWithDelay`]); zero-delay scenarios keep the
+    /// asynchronous model the oracle's tight sanity tolerances rely on.
+    pub fn sim_options(&self) -> SimOptions {
+        SimOptions {
+            activation: if self.delay_max > 0 {
+                Activation::Synchronous
+            } else {
+                Activation::Asynchronous
+            },
+            delay: if self.delay_max > 0 {
+                DelayModel::Uniform {
+                    min: 0,
+                    max: self.delay_max,
+                }
+            } else {
+                DelayModel::None
+            },
+            detector: if self.detector_window > 0 {
+                DetectorModel::Timeout {
+                    window: self.detector_window,
+                }
+            } else {
+                DetectorModel::Oracle
+            },
+            ..SimOptions::default()
+        }
+    }
+
+    /// Surface the netsim configuration check for this scenario's
+    /// execution model (typed, no panic — embedders decide).
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        self.sim_options().validate()
+    }
+
     /// Canonical one-line encoding — the hash pre-image. Versioned so a
     /// future format change invalidates old fingerprints loudly instead
-    /// of silently replaying the wrong case.
+    /// of silently replaying the wrong case (v2 added workload, delay,
+    /// detector window, link heals and node restarts).
     pub fn canonical(&self) -> String {
         format!(
-            "v1|{}|{}|{}|{}|seed={}|rounds={}|acc={:e}|loss={:e}|flips={:e}|links={:?}|crashes={:?}",
+            "v2|{}|{}|{}|{}|wl={}|seed={}|rounds={}|acc={:e}|loss={:e}|flips={:e}\
+             |delay={}|window={}|links={:?}|heals={:?}|crashes={:?}|restarts={:?}",
             self.lane.label(),
             self.template,
             self.topology.label(),
             self.algorithm.label(),
+            self.workload.label(),
             self.seed,
             self.max_rounds,
             self.target_accuracy,
             self.loss,
             self.bit_flips,
+            self.delay_max,
+            self.detector_window,
             self.link_failures,
+            self.link_heals,
             self.crashes,
+            self.restarts,
         )
     }
 
@@ -161,12 +271,21 @@ impl Scenario {
         hex16(fnv1a64(self.canonical().as_bytes()))
     }
 
-    /// Round of the last *scheduled* fault (0 if none): the oracle's
-    /// non-divergence window starts here.
+    /// Round of the last *scheduled* event (0 if none): the oracle's
+    /// non-divergence window starts here. Recovery events (heals,
+    /// restarts) count — they perturb the system exactly like a fault
+    /// does, so the window restarts at the last of them.
     pub fn last_fault_round(&self) -> u64 {
         let links = self.link_failures.iter().map(|&(_, _, r)| r);
+        let heals = self.link_heals.iter().map(|&(_, _, r)| r);
         let crashes = self.crashes.iter().map(|&(_, r)| r);
-        links.chain(crashes).max().unwrap_or(0)
+        let restarts = self.restarts.iter().map(|&(_, r)| r);
+        links
+            .chain(heals)
+            .chain(crashes)
+            .chain(restarts)
+            .max()
+            .unwrap_or(0)
     }
 
     /// `true` if the plan contains scheduled (permanent) faults.
@@ -193,8 +312,51 @@ const STRESS_ROUNDS: u64 = 900;
 const FAULT_FROM: u64 = 120;
 const FAULT_UNTIL: u64 = 240;
 
+/// Recovery events (link heals, node restarts) fire this many rounds
+/// after the fault they undo — late enough that the failure handling has
+/// fully settled, early enough to leave a long post-recovery window
+/// inside [`STRESS_ROUNDS`].
+const RECOVER_AFTER: u64 = 300;
+
+/// A fault-free scenario skeleton (the corpus builders fill in the
+/// lane-specific fields).
+fn base_scenario(
+    lane: Lane,
+    template: String,
+    topology: TopologyKind,
+    algorithm: Algorithm,
+    seed: u64,
+) -> Scenario {
+    Scenario {
+        lane,
+        template,
+        topology,
+        algorithm,
+        workload: Workload::Average,
+        seed,
+        max_rounds: match lane {
+            Lane::Sanity => SANITY_ROUNDS,
+            Lane::Stress => STRESS_ROUNDS,
+        },
+        target_accuracy: match lane {
+            Lane::Sanity => SANITY_ACCURACY,
+            Lane::Stress => 0.0,
+        },
+        loss: 0.0,
+        bit_flips: 0.0,
+        delay_max: 0,
+        detector_window: 0,
+        link_failures: Vec::new(),
+        link_heals: Vec::new(),
+        crashes: Vec::new(),
+        restarts: Vec::new(),
+    }
+}
+
 /// The fault-free lane: every algorithm × a topology spread × the seed
-/// corpus, run to convergence under exact-conservation tolerances.
+/// corpus, run to convergence under exact-conservation tolerances; plus
+/// a workload block (scalar sum, vector average) on the fast-mixing
+/// topologies.
 pub fn sanity_corpus(seeds: &[u64]) -> Vec<Scenario> {
     let topologies = [
         TopologyKind::Complete(16),
@@ -206,19 +368,32 @@ pub fn sanity_corpus(seeds: &[u64]) -> Vec<Scenario> {
     for topology in topologies {
         for algorithm in Algorithm::all() {
             for &seed in seeds {
-                corpus.push(Scenario {
-                    lane: Lane::Sanity,
-                    template: topology.label(),
+                corpus.push(base_scenario(
+                    Lane::Sanity,
+                    topology.label(),
                     topology,
                     algorithm,
                     seed,
-                    max_rounds: SANITY_ROUNDS,
-                    target_accuracy: SANITY_ACCURACY,
-                    loss: 0.0,
-                    bit_flips: 0.0,
-                    link_failures: Vec::new(),
-                    crashes: Vec::new(),
-                });
+                ));
+            }
+        }
+    }
+    // Workload block: sum and vector-average on the fast mixers. Flow
+    // updating is average-only (it asserts unit weights), so it skips
+    // the sum workload.
+    let workloads = [Workload::Sum, Workload::VectorAvg { dim: 3 }];
+    for workload in workloads {
+        for topology in [TopologyKind::Complete(16), TopologyKind::Hypercube(5)] {
+            for algorithm in Algorithm::all() {
+                if workload == Workload::Sum && algorithm == Algorithm::FlowUpdating {
+                    continue;
+                }
+                for &seed in seeds {
+                    let template = format!("{}/{}", workload.label(), topology.label());
+                    let mut sc = base_scenario(Lane::Sanity, template, topology, algorithm, seed);
+                    sc.workload = workload;
+                    corpus.push(sc);
+                }
             }
         }
     }
@@ -227,7 +402,10 @@ pub fn sanity_corpus(seeds: &[u64]) -> Vec<Scenario> {
 
 /// The adversarial lane: loss, bit flips, link failures and crashes over
 /// the fault-tolerant algorithms (push-sum is excluded — it is the
-/// paper's negative control and fails these by design).
+/// paper's negative control and fails these by design), plus the
+/// recovery templates: timeout detectors under message delay (false
+/// suspicions + rehabilitation), link healing, node restart, and the
+/// combined crash + link-failure case.
 pub fn stress_corpus(seeds: &[u64]) -> Vec<Scenario> {
     // (template kind, loss, flips, scheduled link failures, crashes).
     // Fault-bearing templates stay on vertex/edge-connectivity ≥ 5
@@ -256,20 +434,92 @@ pub fn stress_corpus(seeds: &[u64]) -> Vec<Scenario> {
                 for &seed in seeds {
                     let (link_failures, crashes) =
                         place_faults(topology, &template, algorithm, seed, n_links, n_crashes);
-                    corpus.push(Scenario {
-                        lane: Lane::Stress,
-                        template: template.clone(),
-                        topology,
-                        algorithm,
-                        seed,
-                        max_rounds: STRESS_ROUNDS,
-                        target_accuracy: 0.0,
-                        loss,
-                        bit_flips: flips,
-                        link_failures,
-                        crashes,
-                    });
+                    let mut sc =
+                        base_scenario(Lane::Stress, template.clone(), topology, algorithm, seed);
+                    sc.loss = loss;
+                    sc.bit_flips = flips;
+                    sc.link_failures = link_failures;
+                    sc.crashes = crashes;
+                    corpus.push(sc);
                 }
+            }
+        }
+    }
+
+    // Recovery templates: imperfect (timeout) failure detection under
+    // message delay, link healing, node restart, and the combined
+    // crash + link-failure case. All on the hypercube (connectivity 5 —
+    // one crash plus one link failure cannot disconnect it).
+    //
+    // The timeout templates carry probabilistic loss on top of delay:
+    // lost messages widen silence gaps, so the detector's false-suspicion
+    // rate goes up — exactly the imperfect-detection pressure the lane is
+    // for. The transport's suspicion probes keep falsely dead arcs
+    // healing, so reconvergence still has to be exact.
+    struct Recovery {
+        kind: &'static str,
+        loss: f64,
+        delay_max: u64,
+        window: u64,
+        n_links: usize,
+        heal: bool,
+        n_crashes: usize,
+        restart: bool,
+    }
+    let rec = |kind, loss, delay_max, window, n_links, heal, n_crashes, restart| Recovery {
+        kind,
+        loss,
+        delay_max,
+        window,
+        n_links,
+        heal,
+        n_crashes,
+        restart,
+    };
+    let recovery = [
+        rec("timeout", 0.02, 3, 10, 0, false, 0, false),
+        rec("heal", 0.05, 0, 0, 2, true, 0, false),
+        rec("restart", 0.05, 0, 0, 0, false, 1, true),
+        rec("timeout+heal", 0.02, 3, 10, 1, true, 0, false),
+        rec("crash+linkfail", 0.05, 0, 0, 1, false, 1, false),
+    ];
+    let topology = TopologyKind::Hypercube(5);
+    for Recovery {
+        kind,
+        loss,
+        delay_max,
+        window,
+        n_links,
+        heal,
+        n_crashes,
+        restart,
+    } in recovery
+    {
+        let template = format!("{kind}/{}", topology.label());
+        for algorithm in algorithms {
+            for &seed in seeds {
+                let (link_failures, crashes) =
+                    place_faults(topology, &template, algorithm, seed, n_links, n_crashes);
+                let mut sc =
+                    base_scenario(Lane::Stress, template.clone(), topology, algorithm, seed);
+                sc.loss = loss;
+                sc.delay_max = delay_max;
+                sc.detector_window = window;
+                if heal {
+                    sc.link_heals = link_failures
+                        .iter()
+                        .map(|&(a, b, r)| (a, b, r + RECOVER_AFTER))
+                        .collect();
+                }
+                if restart {
+                    sc.restarts = crashes
+                        .iter()
+                        .map(|&(node, r)| (node, r + RECOVER_AFTER))
+                        .collect();
+                }
+                sc.link_failures = link_failures;
+                sc.crashes = crashes;
+                corpus.push(sc);
             }
         }
     }
@@ -419,5 +669,87 @@ mod tests {
         assert_eq!(TopologyKind::Hypercube(5).nodes(), 32);
         assert_eq!(TopologyKind::Torus2d(4, 4).label(), "torus4x4");
         assert_eq!(TopologyKind::Ring(16).build().len(), 16);
+    }
+
+    #[test]
+    fn every_corpus_scenario_validates() {
+        for sc in sanity_corpus(&DEFAULT_SANITY_SEEDS)
+            .iter()
+            .chain(stress_corpus(&DEFAULT_STRESS_SEEDS).iter())
+        {
+            assert_eq!(sc.validate(), Ok(()), "{}", sc.canonical());
+        }
+    }
+
+    #[test]
+    fn delay_scenarios_run_synchronously_with_timeout_detector() {
+        let corpus = stress_corpus(&[1]);
+        let sc = corpus
+            .iter()
+            .find(|s| s.template.starts_with("timeout+heal/"))
+            .unwrap();
+        let opts = sc.sim_options();
+        assert_eq!(opts.activation, Activation::Synchronous);
+        assert_eq!(opts.delay, DelayModel::Uniform { min: 0, max: 3 });
+        assert_eq!(opts.detector, DetectorModel::Timeout { window: 10 });
+        assert_eq!(sc.link_heals.len(), sc.link_failures.len());
+        // A hand-built async + delay scenario is rejected with the typed
+        // error rather than a panic.
+        let mut bad = sc.clone();
+        bad.delay_max = 0; // back to async activation ...
+        assert_eq!(bad.validate(), Ok(()));
+        let mut opts = bad.sim_options();
+        opts.delay = DelayModel::Fixed(2); // ... but force a delay in
+        assert_eq!(opts.validate(), Err(SimConfigError::AsyncWithDelay));
+    }
+
+    #[test]
+    fn recovery_events_follow_their_faults() {
+        let corpus = stress_corpus(&[1, 2]);
+        for sc in &corpus {
+            for &(a, b, heal_round) in &sc.link_heals {
+                let fail = sc
+                    .link_failures
+                    .iter()
+                    .find(|&&(x, y, _)| (x, y) == (a, b))
+                    .expect("every heal undoes a scheduled failure");
+                assert!(heal_round > fail.2, "{}", sc.canonical());
+                assert!(sc.last_fault_round() >= heal_round);
+            }
+            for &(node, restart_round) in &sc.restarts {
+                let crash = sc
+                    .crashes
+                    .iter()
+                    .find(|&&(c, _)| c == node)
+                    .expect("every restart undoes a scheduled crash");
+                assert!(restart_round > crash.1, "{}", sc.canonical());
+                assert!(restart_round < sc.max_rounds);
+            }
+        }
+        let restart = corpus
+            .iter()
+            .find(|s| s.template.starts_with("restart/"))
+            .unwrap();
+        assert_eq!(restart.restarts.len(), 1);
+        assert_eq!(restart.crashes.len(), 1);
+    }
+
+    #[test]
+    fn sum_workload_skips_flow_updating() {
+        let corpus = sanity_corpus(&[1]);
+        assert!(corpus
+            .iter()
+            .any(|s| s.workload == Workload::VectorAvg { dim: 3 }
+                && s.algorithm == Algorithm::FlowUpdating));
+        assert!(!corpus
+            .iter()
+            .any(|s| s.workload == Workload::Sum && s.algorithm == Algorithm::FlowUpdating));
+        let sum = corpus
+            .iter()
+            .find(|s| s.template.starts_with("sum/"))
+            .unwrap();
+        assert_eq!(sum.workload.kind(), AggregateKind::Sum);
+        assert!(sum.canonical().starts_with("v2|"));
+        assert!(sum.canonical().contains("|wl=sum|"));
     }
 }

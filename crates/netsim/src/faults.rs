@@ -109,6 +109,38 @@ pub struct NodeCrash {
     pub detect_delay: u64,
 }
 
+/// A scheduled link *heal*: a previously failed link comes back.
+///
+/// Healing is the counterpart of [`LinkFailure`] that real deployments
+/// need and the paper leaves implicit: a flaky link that died (or was
+/// falsely suspected) returns to service and both endpoints re-admit each
+/// other. The protocol is told via its rehabilitation hook; flow-based
+/// algorithms restart the edge from fresh state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkHeal {
+    /// One endpoint.
+    pub a: NodeId,
+    /// Other endpoint.
+    pub b: NodeId,
+    /// Round at which the link carries messages again and both endpoints
+    /// re-admit each other.
+    pub at_round: u64,
+}
+
+/// A scheduled node restart: a previously crashed node rejoins with fresh
+/// protocol state (its pre-crash data is gone — fail-stop, then reboot).
+///
+/// The rejoining node contributes its *initial* value exactly once; the
+/// mass it held at crash time stays lost. Correct readmission without
+/// double counting is the hard invariant the campaign oracle checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeRestart {
+    /// The restarting node (must have crashed in an earlier round).
+    pub node: NodeId,
+    /// Round at which it resumes sending/receiving.
+    pub at_round: u64,
+}
+
 /// Everything that goes wrong during one simulation.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
@@ -120,6 +152,10 @@ pub struct FaultPlan {
     pub link_failures: Vec<LinkFailure>,
     /// Scheduled node crashes.
     pub node_crashes: Vec<NodeCrash>,
+    /// Scheduled link heals (a failed link returns to service).
+    pub link_heals: Vec<LinkHeal>,
+    /// Scheduled node restarts (a crashed node rejoins, state lost).
+    pub node_restarts: Vec<NodeRestart>,
 }
 
 impl FaultPlan {
@@ -173,12 +209,33 @@ impl FaultPlan {
         self
     }
 
+    /// Heal a previously failed link at `round`.
+    pub fn heal_link(mut self, a: NodeId, b: NodeId, round: u64) -> Self {
+        self.link_heals.push(LinkHeal {
+            a,
+            b,
+            at_round: round,
+        });
+        self
+    }
+
+    /// Restart a previously crashed node at `round`.
+    pub fn restart_node(mut self, node: NodeId, round: u64) -> Self {
+        self.node_restarts.push(NodeRestart {
+            node,
+            at_round: round,
+        });
+        self
+    }
+
     /// `true` if the plan contains no faults of any kind.
     pub fn is_failure_free(&self) -> bool {
         self.msg_loss_prob == 0.0
             && self.bit_flip_prob == 0.0
             && self.link_failures.is_empty()
             && self.node_crashes.is_empty()
+            && self.link_heals.is_empty()
+            && self.node_restarts.is_empty()
     }
 }
 
@@ -229,6 +286,32 @@ mod tests {
         assert_eq!(p.node_crashes.len(), 1);
         assert!(!p.is_failure_free());
         assert!(FaultPlan::none().is_failure_free());
+    }
+
+    #[test]
+    fn heal_and_restart_builders() {
+        let p = FaultPlan::none()
+            .fail_link(1, 2, 10)
+            .heal_link(1, 2, 30)
+            .crash_node(3, 20)
+            .restart_node(3, 50);
+        assert_eq!(
+            p.link_heals,
+            vec![LinkHeal {
+                a: 1,
+                b: 2,
+                at_round: 30
+            }]
+        );
+        assert_eq!(
+            p.node_restarts,
+            vec![NodeRestart {
+                node: 3,
+                at_round: 50
+            }]
+        );
+        assert!(!FaultPlan::none().heal_link(0, 1, 5).is_failure_free());
+        assert!(!FaultPlan::none().restart_node(0, 5).is_failure_free());
     }
 
     #[test]

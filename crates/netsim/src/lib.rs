@@ -19,12 +19,15 @@
 //!
 //! The execution order within one round is fixed:
 //!
-//! 1. scheduled faults whose `at_round` equals the current round fire
-//!    (links die, nodes crash);
+//! 1. scheduled faults and repairs whose `at_round` equals the current
+//!    round fire, in the order: links die, nodes crash, links heal,
+//!    nodes restart;
 //! 2. failure *detections* due this round are delivered to the protocol
 //!    ([`Protocol::on_link_failed`]) — detection may lag the fault by a
 //!    configurable delay, during which senders still address the dead
-//!    link and those messages are silently lost;
+//!    link and those messages are silently lost. (Under
+//!    [`DetectorModel::Timeout`] this oracle step is replaced by a local
+//!    silence scan at the end of the round.);
 //! 3. every alive node with at least one believed-alive neighbor sends one
 //!    message to a schedule-chosen partner ([`Protocol::on_send`]);
 //! 4. the fault injector drops or corrupts in-flight messages;
@@ -38,8 +41,8 @@ mod schedule;
 mod sim;
 mod trace;
 
-pub use faults::{Corrupt, FaultPlan, LinkFailure, NodeCrash};
-pub use options::{Activation, DelayModel, SimOptions};
+pub use faults::{Corrupt, FaultPlan, LinkFailure, LinkHeal, NodeCrash, NodeRestart};
+pub use options::{Activation, DelayModel, DetectorModel, SimConfigError, SimOptions};
 pub use rng::{stream_rng, RngStream};
 pub use schedule::Schedule;
 pub use sim::{Protocol, SimStats, Simulator};

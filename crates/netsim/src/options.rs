@@ -76,6 +76,57 @@ impl DelayModel {
     }
 }
 
+/// How permanent failures become known to the protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DetectorModel {
+    /// Scheduled faults are reported exactly once after their plan's
+    /// `detect_delay`, to exactly the affected nodes, and never wrongly
+    /// (the paper's model).
+    #[default]
+    Oracle,
+    /// Local timeout detector: node `i` *suspects* neighbor `j` after
+    /// `window` consecutive rounds without a delivery from `j`, and
+    /// *rehabilitates* `j` the moment a message from `j` arrives. Derived
+    /// only from locally observable arrivals — under message delay or
+    /// loss, suspicions can be false, and the protocol must survive the
+    /// suspect → rehabilitate cycle without corrupting the aggregate.
+    Timeout {
+        /// Rounds of silence before suspicion (must be ≥ 1).
+        window: u64,
+    },
+}
+
+/// A rejected execution-model configuration.
+///
+/// Returned by [`SimOptions::validate`] and
+/// [`Simulator::try_with_options`](crate::Simulator::try_with_options)
+/// so embedders (the campaign scenario validator) can surface the problem
+/// without a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimConfigError {
+    /// Asynchronous activation models atomic exchanges, which is
+    /// incompatible with a nonzero-latency delay model.
+    AsyncWithDelay,
+    /// A timeout detector with `window == 0` would suspect every neighbor
+    /// before its first message could possibly arrive.
+    ZeroTimeoutWindow,
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimConfigError::AsyncWithDelay => {
+                write!(f, "asynchronous activation requires the zero-delay model")
+            }
+            SimConfigError::ZeroTimeoutWindow => {
+                write!(f, "timeout detector window must be at least 1 round")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
 /// Bundle of execution-model knobs accepted by
 /// [`Simulator::with_options`](crate::Simulator::with_options).
 #[derive(Clone, Debug, Default)]
@@ -87,6 +138,21 @@ pub struct SimOptions {
     /// Message latency model (must be [`DelayModel::None`] under
     /// asynchronous activation, where exchanges are atomic).
     pub delay: DelayModel,
+    /// Failure-detection model.
+    pub detector: DetectorModel,
+}
+
+impl SimOptions {
+    /// Check the option combination for internal consistency.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.activation == Activation::Asynchronous && self.delay.max_delay() != 0 {
+            return Err(SimConfigError::AsyncWithDelay);
+        }
+        if self.detector == (DetectorModel::Timeout { window: 0 }) {
+            return Err(SimConfigError::ZeroTimeoutWindow);
+        }
+        Ok(())
+    }
 }
 
 impl Default for Schedule {
@@ -122,5 +188,41 @@ mod tests {
         let o = SimOptions::default();
         assert_eq!(o.activation, Activation::Synchronous);
         assert_eq!(o.delay, DelayModel::None);
+        assert_eq!(o.detector, DetectorModel::Oracle);
+        assert_eq!(o.validate(), Ok(()));
+    }
+
+    #[test]
+    fn async_with_delay_is_a_config_error() {
+        let o = SimOptions {
+            activation: Activation::Asynchronous,
+            delay: DelayModel::Fixed(1),
+            ..SimOptions::default()
+        };
+        assert_eq!(o.validate(), Err(SimConfigError::AsyncWithDelay));
+        assert!(SimConfigError::AsyncWithDelay
+            .to_string()
+            .contains("zero-delay"));
+        // Fixed(0) is equivalent to None and stays legal.
+        let o = SimOptions {
+            activation: Activation::Asynchronous,
+            delay: DelayModel::Fixed(0),
+            ..SimOptions::default()
+        };
+        assert_eq!(o.validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_timeout_window_is_a_config_error() {
+        let o = SimOptions {
+            detector: DetectorModel::Timeout { window: 0 },
+            ..SimOptions::default()
+        };
+        assert_eq!(o.validate(), Err(SimConfigError::ZeroTimeoutWindow));
+        let o = SimOptions {
+            detector: DetectorModel::Timeout { window: 1 },
+            ..SimOptions::default()
+        };
+        assert_eq!(o.validate(), Ok(()));
     }
 }

@@ -1,7 +1,7 @@
 //! The round-driven simulator core.
 
-use crate::faults::{Corrupt, FaultPlan, LinkFailure, NodeCrash};
-use crate::options::{Activation, DelayModel, SimOptions};
+use crate::faults::{Corrupt, FaultPlan, LinkFailure, LinkHeal, NodeCrash, NodeRestart};
+use crate::options::{Activation, DelayModel, DetectorModel, SimConfigError, SimOptions};
 use crate::rng::{stream_rng, RngStream};
 use crate::schedule::Schedule;
 use crate::trace::{Event, Trace};
@@ -51,6 +51,41 @@ pub trait Protocol {
         let _ = (node, neighbor);
     }
 
+    /// Node `node`'s local detector *suspects* `neighbor` has failed
+    /// ([`DetectorModel::Timeout`] silence). Unlike `on_link_failed`, a
+    /// suspicion may be wrong — the protocol must handle it so that a
+    /// later [`on_rehabilitate`](Self::on_rehabilitate) leaves the
+    /// aggregate intact. Default: treat like a detected link failure
+    /// (correct for flow algorithms whose excision is a local,
+    /// mass-conserving fold).
+    fn on_suspect(&mut self, node: NodeId, neighbor: NodeId) {
+        self.on_link_failed(node, neighbor);
+    }
+
+    /// A previously suspected (or failed) `neighbor` of `node` proved
+    /// alive again — a message arrived, or the link healed — and has been
+    /// re-admitted to the believed-alive set. Default: do nothing (PCF
+    /// resynchronises the edge through its wire-carried incarnation
+    /// counter; overwrite protocols self-heal on the next exchange).
+    fn on_rehabilitate(&mut self, node: NodeId, neighbor: NodeId) {
+        let _ = (node, neighbor);
+    }
+
+    /// Node `node` restarts after a crash: reset its local state to the
+    /// initial data (pre-crash mass is lost — the node must contribute
+    /// its value exactly once, not twice). Default: do nothing.
+    fn on_restart(&mut self, node: NodeId) {
+        let _ = node;
+    }
+
+    /// Node `node` learns that its neighbor `restarted` rebooted with
+    /// fresh state: any per-edge bookkeeping toward it is stale. Default:
+    /// treat like a detected link failure (excise, then rebuild from
+    /// scratch — the mass-conserving choice for flow algorithms).
+    fn on_neighbor_restarted(&mut self, node: NodeId, restarted: NodeId) {
+        self.on_link_failed(node, restarted);
+    }
+
     /// Called right after `node` processed a message from `from`: return
     /// `Some(reply)` to send an immediate response back over the same
     /// link (push-**pull** gossip). The reply passes through the same
@@ -77,6 +112,13 @@ pub struct SimStats {
     pub lost_dead: u64,
     /// Bit flips injected.
     pub bit_flips: u64,
+    /// Timeout-detector suspicions raised (0 under the oracle detector).
+    pub suspected: u64,
+    /// Neighbors re-admitted to a believed-alive set (timeout
+    /// rehabilitations, link heals, and node restarts).
+    pub rehabilitated: u64,
+    /// Liveness probes sent on suspected arcs (timeout mode only).
+    pub probes_sent: u64,
 }
 
 /// One pending "link (a,b) is detected failed at `round`" event.
@@ -90,12 +132,23 @@ struct Detection {
 /// Snapshot a plan's scheduled events into fire-order queues. The sort is
 /// stable, so events sharing an `at_round` fire in plan order — exactly
 /// the order the old per-round scan produced.
-fn sorted_queues(plan: &FaultPlan) -> (Vec<LinkFailure>, Vec<NodeCrash>) {
+type EventQueues = (
+    Vec<LinkFailure>,
+    Vec<NodeCrash>,
+    Vec<LinkHeal>,
+    Vec<NodeRestart>,
+);
+
+fn sorted_queues(plan: &FaultPlan) -> EventQueues {
     let mut links = plan.link_failures.clone();
     links.sort_by_key(|f| f.at_round);
     let mut crashes = plan.node_crashes.clone();
     crashes.sort_by_key(|c| c.at_round);
-    (links, crashes)
+    let mut heals = plan.link_heals.clone();
+    heals.sort_by_key(|h| h.at_round);
+    let mut restarts = plan.node_restarts.clone();
+    restarts.sort_by_key(|r| r.at_round);
+    (links, crashes, heals, restarts)
 }
 
 /// The simulator: drives a [`Protocol`] over a [`Graph`] under a
@@ -115,14 +168,21 @@ pub struct Simulator<'g, P: Protocol> {
     /// Scheduled crashes, same discipline as `link_queue`.
     crash_queue: Vec<NodeCrash>,
     crash_cursor: usize,
+    /// Scheduled link heals, same discipline as `link_queue`.
+    heal_queue: Vec<LinkHeal>,
+    heal_cursor: usize,
+    /// Scheduled node restarts, same discipline as `link_queue`.
+    restart_queue: Vec<NodeRestart>,
+    restart_cursor: usize,
     round: u64,
     alive_node: Vec<bool>,
-    /// Believed-alive neighbor lists (shrink on detection), kept sorted,
-    /// stored flat in the graph's CSR layout: node `i`'s list lives at
-    /// `believed_flat[arc_base(i)..][..believed_len[i]]`. Lists only ever
-    /// shrink, so each segment stays within its original extent — and the
-    /// per-round schedule pick reads straight from one flat array instead
-    /// of chasing a per-node `Vec` header.
+    /// Believed-alive neighbor lists (shrink on detection/suspicion, grow
+    /// back on rehabilitation/heal/restart), kept sorted, stored flat in
+    /// the graph's CSR layout: node `i`'s list lives at
+    /// `believed_flat[arc_base(i)..][..believed_len[i]]`. A list never
+    /// outgrows the node's degree, so each segment stays within its
+    /// original extent — and the per-round schedule pick reads straight
+    /// from one flat array instead of chasing a per-node `Vec` header.
     believed_flat: Vec<NodeId>,
     believed_len: Vec<u32>,
     /// Per-arc dead bits (`arc_base(i) + neighbor_slot(i, j)`), both
@@ -138,10 +198,31 @@ pub struct Simulator<'g, P: Protocol> {
     pending_detections: Vec<Detection>,
     activation: Activation,
     delay: DelayModel,
+    /// `true` when the timeout detector replaces the oracle: scheduled
+    /// faults are *not* reported to the protocol; silence is. Everything
+    /// the detector touches is gated on this flag, so the oracle path is
+    /// bit-identical to the pre-detector simulator.
+    detector_timeout: bool,
+    /// Silence threshold in rounds (only read when `detector_timeout`).
+    detector_window: u64,
+    /// `last_heard[arc_base(i) + neighbor_slot(i, j)]` = last round a
+    /// message from `j` reached `i`'s receive handler (timeout mode only;
+    /// empty under the oracle detector).
+    last_heard: Vec<u64>,
+    /// Per-arc suspicion bits, indexed like `dead_arcs` (timeout mode
+    /// only). `i` suspects `j` ⇔ bit `arc_base(i) + slot(i, j)` set.
+    suspected_arcs: Vec<u64>,
     /// Delivery ring buffer: `buckets[r % len]` holds the messages due in
     /// round `r`, in send order. With the default zero-delay model this
     /// is a single reused buffer.
     buckets: Vec<Vec<(NodeId, NodeId, P::Msg)>>,
+    /// Liveness-probe ring (timeout mode only), same slot discipline as
+    /// `buckets`: `probe_ring[r % len]` holds the `(prober, target)`
+    /// probes due at the start of round `r`. Probes exist because
+    /// suspicion is symmetric-deadlock-prone: once both endpoints of a
+    /// falsely suspected arc stop sending, neither would ever hear the
+    /// other again and the believed-alive graph partitions permanently.
+    probe_ring: Vec<Vec<(NodeId, NodeId)>>,
     /// Scratch list of alive node ids (async activation sampling),
     /// rebuilt only after a crash invalidates it.
     alive_scratch: Vec<NodeId>,
@@ -183,8 +264,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// Build a simulator with full execution-model control.
     ///
     /// # Panics
-    /// Panics if a nonzero delay model is combined with asynchronous
-    /// activation (async exchanges are atomic by definition).
+    /// Panics on an invalid option combination (see
+    /// [`SimOptions::validate`]); [`Simulator::try_with_options`] is the
+    /// non-panicking variant.
     pub fn with_options(
         graph: &'g Graph,
         protocol: P,
@@ -192,20 +274,36 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         seed: u64,
         options: SimOptions,
     ) -> Self {
+        match Self::try_with_options(graph, protocol, plan, seed, options) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build a simulator, rejecting invalid option combinations with a
+    /// typed [`SimConfigError`] instead of panicking.
+    pub fn try_with_options(
+        graph: &'g Graph,
+        protocol: P,
+        plan: FaultPlan,
+        seed: u64,
+        options: SimOptions,
+    ) -> Result<Self, SimConfigError> {
+        options.validate()?;
         let n = graph.len();
         let believed_flat: Vec<NodeId> = (0..n as NodeId)
             .flat_map(|i| graph.neighbors(i).iter().copied())
             .collect();
         let believed_len = (0..n as NodeId).map(|i| graph.degree(i) as u32).collect();
-        assert!(
-            options.activation == Activation::Synchronous || options.delay.max_delay() == 0,
-            "asynchronous activation requires the zero-delay model"
-        );
         let buckets = (0..options.delay.max_delay() + 1)
             .map(|_| Vec::new())
             .collect();
-        let (link_queue, crash_queue) = sorted_queues(&plan);
-        Simulator {
+        let (link_queue, crash_queue, heal_queue, restart_queue) = sorted_queues(&plan);
+        let (detector_timeout, detector_window) = match options.detector {
+            DetectorModel::Oracle => (false, 0),
+            DetectorModel::Timeout { window } => (true, window),
+        };
+        Ok(Simulator {
             graph,
             protocol,
             schedule: options.schedule,
@@ -216,6 +314,10 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             link_cursor: 0,
             crash_queue,
             crash_cursor: 0,
+            heal_queue,
+            heal_cursor: 0,
+            restart_queue,
+            restart_cursor: 0,
             round: 0,
             alive_node: vec![true; n],
             believed_flat,
@@ -225,13 +327,32 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             pending_detections: Vec::new(),
             activation: options.activation,
             delay: options.delay,
+            detector_timeout,
+            detector_window,
+            last_heard: if detector_timeout {
+                vec![0; graph.arc_count()]
+            } else {
+                Vec::new()
+            },
+            suspected_arcs: if detector_timeout {
+                vec![0; graph.arc_count().div_ceil(64)]
+            } else {
+                Vec::new()
+            },
             buckets,
+            probe_ring: if detector_timeout {
+                (0..options.delay.max_delay() + 1)
+                    .map(|_| Vec::new())
+                    .collect()
+            } else {
+                Vec::new()
+            },
             alive_scratch: Vec::new(),
             alive_scratch_dirty: true,
             trace: None,
             link_load: None,
             stats: SimStats::default(),
-        }
+        })
     }
 
     /// Start recording the most recent `capacity` transport/fault events.
@@ -352,6 +473,33 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         }
     }
 
+    /// Sorted insert into `node`'s believed-alive list; `true` if the
+    /// neighbor was actually absent. The list can never outgrow the
+    /// node's degree, so the segment stays within its CSR extent.
+    fn readmit_believed(&mut self, node: NodeId, neighbor: NodeId) -> bool {
+        let base = self.graph.arc_base(node);
+        let len = self.believed_len[node as usize] as usize;
+        match self.believed_flat[base..base + len].binary_search(&neighbor) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.believed_flat
+                    .copy_within(base + pos..base + len, base + pos + 1);
+                self.believed_flat[base + pos] = neighbor;
+                self.believed_len[node as usize] = (len + 1) as u32;
+                true
+            }
+        }
+    }
+
+    #[inline]
+    fn clear_suspected(&mut self, node: NodeId, neighbor: NodeId) {
+        if let Some(slot) = self.graph.neighbor_slot(node, neighbor) {
+            let arc = self.graph.arc_base(node) + slot;
+            self.suspected_arcs[arc / 64] &= !(1 << (arc % 64));
+            self.last_heard[arc] = self.round;
+        }
+    }
+
     /// Phase 1: fire physical faults scheduled for this round and enqueue
     /// their detections. The queues are pre-sorted by `at_round`, so this
     /// is a cursor advance — zero work and zero allocation on rounds with
@@ -377,17 +525,21 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 b: f.b,
             });
             self.mark_link_dead(f.a, f.b);
-            let at = round + f.detect_delay;
-            self.push_detection(Detection {
-                round: at,
-                node: f.a,
-                neighbor: f.b,
-            });
-            self.push_detection(Detection {
-                round: at,
-                node: f.b,
-                neighbor: f.a,
-            });
+            // Under the timeout detector the oracle stays silent: the
+            // endpoints find out through silence, like everyone else.
+            if !self.detector_timeout {
+                let at = round + f.detect_delay;
+                self.push_detection(Detection {
+                    round: at,
+                    node: f.a,
+                    neighbor: f.b,
+                });
+                self.push_detection(Detection {
+                    round: at,
+                    node: f.b,
+                    neighbor: f.a,
+                });
+            }
         }
         // Node crashes.
         while let Some(&c) = self.crash_queue.get(self.crash_cursor) {
@@ -403,15 +555,158 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             self.alive_node[c.node as usize] = false;
             self.physical_faults = true;
             self.alive_scratch_dirty = true;
-            let at = round + c.detect_delay;
-            let graph = self.graph;
-            for &j in graph.neighbors(c.node) {
-                self.push_detection(Detection {
-                    round: at,
+            if !self.detector_timeout {
+                let at = round + c.detect_delay;
+                let graph = self.graph;
+                for &j in graph.neighbors(c.node) {
+                    self.push_detection(Detection {
+                        round: at,
+                        node: j,
+                        neighbor: c.node,
+                    });
+                }
+            }
+        }
+        // Link heals.
+        while let Some(&h) = self.heal_queue.get(self.heal_cursor) {
+            if h.at_round > round {
+                break;
+            }
+            debug_assert_eq!(h.at_round, round);
+            self.heal_cursor += 1;
+            self.fire_link_heal(h);
+        }
+        // Node restarts.
+        while let Some(&r) = self.restart_queue.get(self.restart_cursor) {
+            if r.at_round > round {
+                break;
+            }
+            debug_assert_eq!(r.at_round, round);
+            self.restart_cursor += 1;
+            self.fire_node_restart(r.node);
+        }
+    }
+
+    /// Bring a failed link back: clear its dead bits, cancel any pending
+    /// oracle detections for the pair, and re-admit each alive endpoint
+    /// into the other's believed set (with the protocol's rehabilitation
+    /// hook). Healing a link that never died is a no-op.
+    fn fire_link_heal(&mut self, h: LinkHeal) {
+        let round = self.round;
+        assert!(
+            self.graph.has_edge(h.a, h.b),
+            "fault plan heals nonexistent link ({}, {})",
+            h.a,
+            h.b
+        );
+        self.record(Event::LinkHealed {
+            round,
+            a: h.a,
+            b: h.b,
+        });
+        for (x, y) in [(h.a, h.b), (h.b, h.a)] {
+            if let Some(slot) = self.graph.neighbor_slot(x, y) {
+                let arc = self.graph.arc_base(x) + slot;
+                self.dead_arcs[arc / 64] &= !(1 << (arc % 64));
+            }
+        }
+        self.pending_detections.retain(|d| {
+            !((d.node == h.a && d.neighbor == h.b) || (d.node == h.b && d.neighbor == h.a))
+        });
+        for (x, y) in [(h.a, h.b), (h.b, h.a)] {
+            if !self.alive_node[x as usize] || !self.alive_node[y as usize] {
+                continue;
+            }
+            if self.detector_timeout {
+                self.clear_suspected(x, y);
+            }
+            if self.readmit_believed(x, y) {
+                self.stats.rehabilitated += 1;
+                self.record(Event::NodeRehabilitated {
+                    round,
+                    node: x,
+                    neighbor: y,
+                });
+                self.protocol.on_rehabilitate(x, y);
+            }
+        }
+    }
+
+    /// Rejoin a crashed node with fresh state: purge everything stale the
+    /// transport or detector still holds about it, rebuild mutual
+    /// believed-alive sets over live links, and run the protocol's
+    /// restart hooks on both sides.
+    fn fire_node_restart(&mut self, node: NodeId) {
+        let round = self.round;
+        assert!(
+            !self.alive_node[node as usize],
+            "fault plan restarts node {node}, which is alive"
+        );
+        self.record(Event::NodeRestarted { round, node });
+        self.alive_node[node as usize] = true;
+        self.alive_scratch_dirty = true;
+        // Messages the node sent before crashing (or addressed to it while
+        // dead) must not surface after the reboot: the restarted node's
+        // edge state is fresh, and a stale in-flight payload would be
+        // processed as if it belonged to the new incarnation.
+        for bucket in &mut self.buckets {
+            bucket.retain(|&(src, dst, _)| src != node && dst != node);
+        }
+        // In-flight probes from the old incarnation are stale proof of
+        // life; probes addressed to the dead node would have been dropped
+        // anyway.
+        for bucket in &mut self.probe_ring {
+            bucket.retain(|&(src, dst)| src != node && dst != node);
+        }
+        // Pending oracle detections about the node are stale too — except
+        // a neighbor's detection of a *link* that is still physically
+        // dead, which must survive the reboot.
+        let graph = self.graph;
+        let dead_arcs = &self.dead_arcs;
+        let arc_dead = |src: NodeId, dst: NodeId| match graph.neighbor_slot(src, dst) {
+            Some(slot) => {
+                let arc = graph.arc_base(src) + slot;
+                dead_arcs[arc / 64] & (1 << (arc % 64)) != 0
+            }
+            None => false,
+        };
+        self.pending_detections
+            .retain(|d| d.node != node && (d.neighbor != node || arc_dead(d.node, d.neighbor)));
+        // The rebooted node believes exactly its alive neighbors over live
+        // links; the CSR segment re-expands within its original extent.
+        let base = self.graph.arc_base(node);
+        let mut len = 0usize;
+        for &j in graph.neighbors(node) {
+            if self.alive_node[j as usize] && !self.arc_is_dead(node, j) {
+                self.believed_flat[base + len] = j;
+                len += 1;
+            }
+        }
+        self.believed_len[node as usize] = len as u32;
+        if self.detector_timeout {
+            // Fresh detector state in both directions.
+            for &j in graph.neighbors(node) {
+                self.clear_suspected(node, j);
+            }
+        }
+        self.protocol.on_restart(node);
+        // Neighbors re-admit the node and excise their stale edge state.
+        for &j in graph.neighbors(node) {
+            if !self.alive_node[j as usize] || self.arc_is_dead(j, node) {
+                continue;
+            }
+            if self.detector_timeout {
+                self.clear_suspected(j, node);
+            }
+            if self.readmit_believed(j, node) {
+                self.stats.rehabilitated += 1;
+                self.record(Event::NodeRehabilitated {
+                    round,
                     node: j,
-                    neighbor: c.node,
+                    neighbor: node,
                 });
             }
+            self.protocol.on_neighbor_restarted(j, node);
         }
     }
 
@@ -491,10 +786,141 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 dst: to,
             });
             if self.transit(replier, to, &mut reply) {
+                if self.detector_timeout {
+                    self.note_arrival(to, replier);
+                }
                 self.protocol.on_receive(to, replier, &mut reply);
                 self.note_delivery(replier, to);
             }
         }
+    }
+
+    /// Timeout-detector bookkeeping for one successful delivery `src →
+    /// dst`: a message from a suspected neighbor proves it alive, so the
+    /// rehabilitation fires *before* the receive handler — the protocol
+    /// re-admits the edge, then processes the message over it.
+    #[inline]
+    fn note_arrival(&mut self, dst: NodeId, src: NodeId) {
+        let slot = self
+            .graph
+            .neighbor_slot(dst, src)
+            .expect("delivery on a non-edge");
+        let arc = self.graph.arc_base(dst) + slot;
+        let (word, bit) = (arc / 64, 1u64 << (arc % 64));
+        if self.suspected_arcs[word] & bit != 0 {
+            self.suspected_arcs[word] &= !bit;
+            self.readmit_believed(dst, src);
+            self.stats.rehabilitated += 1;
+            self.record(Event::NodeRehabilitated {
+                round: self.round,
+                node: dst,
+                neighbor: src,
+            });
+            self.protocol.on_rehabilitate(dst, src);
+        }
+        self.last_heard[arc] = self.round;
+    }
+
+    /// End-of-round silence scan (timeout mode): every alive node drops
+    /// each believed neighbor it has not heard from for `window` rounds.
+    /// Suspicion is one-directional and purely local — under delay or
+    /// loss it can be wrong, which is the point.
+    fn scan_silence(&mut self) {
+        let round = self.round;
+        let window = self.detector_window;
+        for i in 0..self.graph.len() as NodeId {
+            if !self.alive_node[i as usize] {
+                continue;
+            }
+            let base = self.graph.arc_base(i);
+            // Walk backwards: removing entry `slot` only shifts entries
+            // after it, which are already visited.
+            let mut slot = self.believed_len[i as usize] as usize;
+            while slot > 0 {
+                slot -= 1;
+                let j = self.believed_flat[base + slot];
+                let arc = base
+                    + self
+                        .graph
+                        .neighbor_slot(i, j)
+                        .expect("believed list holds a non-neighbor");
+                if round - self.last_heard[arc] >= window {
+                    self.remove_believed(i, j);
+                    self.suspected_arcs[arc / 64] |= 1 << (arc % 64);
+                    self.stats.suspected += 1;
+                    self.record(Event::NodeSuspected {
+                        round,
+                        node: i,
+                        neighbor: j,
+                    });
+                    self.protocol.on_suspect(i, j);
+                }
+            }
+        }
+    }
+
+    /// End-of-round probe fan-out (timeout mode): every alive node sends
+    /// a liveness probe to each neighbor it currently suspects. Suspicion
+    /// must not stop outbound probing — a falsely suspected (or healed)
+    /// link rehabilitates only because probes keep crossing it, while
+    /// probes to a genuinely dead peer keep vanishing and the suspicion
+    /// stands. Probes ride the same delay model as payload messages but
+    /// carry no protocol state.
+    fn send_probes(&mut self) {
+        if self.suspected_arcs.iter().all(|&w| w == 0) {
+            return;
+        }
+        let nbuckets = self.probe_ring.len() as u64;
+        for i in 0..self.graph.len() as NodeId {
+            if !self.alive_node[i as usize] {
+                continue;
+            }
+            let base = self.graph.arc_base(i);
+            for (slot, &j) in self.graph.neighbors(i).iter().enumerate() {
+                let arc = base + slot;
+                if self.suspected_arcs[arc / 64] & (1 << (arc % 64)) == 0 {
+                    continue;
+                }
+                // Probes issue at the end of round `r`, so a delay-`d`
+                // probe is due at the start of round `r + 1 + d`; the
+                // arrival rounds `r+1 ..= r+len` map onto distinct ring
+                // slots, each drained before it can be refilled.
+                let d = self.delay.sample(&mut self.fault_rng);
+                let due = ((self.round + 1 + d) % nbuckets) as usize;
+                self.probe_ring[due].push((i, j));
+                self.stats.probes_sent += 1;
+            }
+        }
+    }
+
+    /// Start-of-round probe delivery (timeout mode): a probe that crosses
+    /// a live link is proof of life for its sender — pure
+    /// [`note_arrival`](Self::note_arrival) bookkeeping, no protocol
+    /// receive. Dead endpoints, dead arcs and the probabilistic loss
+    /// model swallow probes exactly like payload messages.
+    fn deliver_probes(&mut self) {
+        let due = (self.round % self.probe_ring.len() as u64) as usize;
+        if self.probe_ring[due].is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.probe_ring[due]);
+        for &(src, dst) in &batch {
+            if self.physical_faults
+                && (!self.alive_node[src as usize]
+                    || !self.alive_node[dst as usize]
+                    || self.arc_is_dead(src, dst))
+            {
+                continue;
+            }
+            if self.plan.msg_loss_prob > 0.0
+                && self.fault_rng.random::<f64>() < self.plan.msg_loss_prob
+            {
+                continue;
+            }
+            self.note_arrival(dst, src);
+        }
+        batch.clear();
+        self.probe_ring[due] = batch; // hand the allocation back
     }
 
     #[inline]
@@ -513,9 +939,16 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     pub fn step(&mut self) {
         self.fire_scheduled_faults();
         self.deliver_detections();
+        if self.detector_timeout {
+            self.deliver_probes();
+        }
         match self.activation {
             Activation::Synchronous => self.step_synchronous(),
             Activation::Asynchronous => self.step_asynchronous(),
+        }
+        if self.detector_timeout {
+            self.scan_silence();
+            self.send_probes();
         }
         self.round += 1;
         self.stats.rounds += 1;
@@ -574,6 +1007,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             let (src, dst) = (entry.0, entry.1);
             let msg = &mut entry.2;
             if clean || self.transit(src, dst, msg) {
+                if self.detector_timeout {
+                    self.note_arrival(dst, src);
+                }
                 self.protocol.on_receive(dst, src, msg);
                 self.note_delivery(src, dst);
                 self.deliver_reply(dst, src);
@@ -612,6 +1048,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 dst: target,
             });
             if self.transit(i, target, &mut msg) {
+                if self.detector_timeout {
+                    self.note_arrival(target, i);
+                }
                 self.protocol.on_receive(target, i, &mut msg);
                 self.note_delivery(i, target);
                 self.deliver_reply(target, i);
@@ -631,13 +1070,17 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// corruption switch immediately. Used to model fault episodes ("flip
     /// bits for 200 rounds, then run clean and watch recovery").
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        let (link_queue, crash_queue) = sorted_queues(&plan);
+        let (link_queue, crash_queue, heal_queue, restart_queue) = sorted_queues(&plan);
         // Skip events already in the past, preserving the "never fire"
         // contract; the cursors then only ever see current-round events.
         self.link_cursor = link_queue.partition_point(|f| f.at_round < self.round);
         self.crash_cursor = crash_queue.partition_point(|c| c.at_round < self.round);
+        self.heal_cursor = heal_queue.partition_point(|h| h.at_round < self.round);
+        self.restart_cursor = restart_queue.partition_point(|r| r.at_round < self.round);
         self.link_queue = link_queue;
         self.crash_queue = crash_queue;
+        self.heal_queue = heal_queue;
+        self.restart_queue = restart_queue;
         self.plan = plan;
     }
 
@@ -661,11 +1104,16 @@ mod tests {
     use gr_topology::{bus, complete, ring};
 
     /// Test protocol: every node counts what it receives and remembers
-    /// link-failure callbacks; messages carry the sender id as f64.
+    /// every failure-interface callback; messages carry the sender id as
+    /// f64.
     #[derive(Default)]
     struct Recorder {
         received: Vec<Vec<(NodeId, f64)>>,
         failed_links: Vec<(NodeId, NodeId)>,
+        suspects: Vec<(NodeId, NodeId)>,
+        rehabs: Vec<(NodeId, NodeId)>,
+        restarts: Vec<NodeId>,
+        neighbor_restarts: Vec<(NodeId, NodeId)>,
         sends: u64,
     }
 
@@ -673,8 +1121,7 @@ mod tests {
         fn new(n: usize) -> Self {
             Recorder {
                 received: vec![Vec::new(); n],
-                failed_links: Vec::new(),
-                sends: 0,
+                ..Recorder::default()
             }
         }
     }
@@ -690,6 +1137,18 @@ mod tests {
         }
         fn on_link_failed(&mut self, node: NodeId, neighbor: NodeId) {
             self.failed_links.push((node, neighbor));
+        }
+        fn on_suspect(&mut self, node: NodeId, neighbor: NodeId) {
+            self.suspects.push((node, neighbor));
+        }
+        fn on_rehabilitate(&mut self, node: NodeId, neighbor: NodeId) {
+            self.rehabs.push((node, neighbor));
+        }
+        fn on_restart(&mut self, node: NodeId) {
+            self.restarts.push(node);
+        }
+        fn on_neighbor_restarted(&mut self, node: NodeId, restarted: NodeId) {
+            self.neighbor_restarts.push((node, restarted));
         }
     }
 
@@ -962,6 +1421,12 @@ mod tests {
                 }
                 Event::Detected { .. } => detected += 1,
                 Event::BitFlipped { .. } => {}
+                Event::LinkHealed { .. }
+                | Event::NodeRestarted { .. }
+                | Event::NodeSuspected { .. }
+                | Event::NodeRehabilitated { .. } => {
+                    panic!("no heal/restart/suspicion scheduled: {e:?}")
+                }
             }
         }
         let s = sim.stats();
@@ -1028,5 +1493,206 @@ mod tests {
             sim.protocol().log.clone()
         };
         assert_eq!(trace(false), trace(true));
+    }
+
+    #[test]
+    fn link_heal_restores_traffic() {
+        let g = bus(3); // 0-1-2
+        let plan = FaultPlan::none().fail_link(0, 1, 5).heal_link(0, 1, 10);
+        let mut sim = Simulator::new(&g, Recorder::new(3), plan, 11);
+        sim.enable_trace(10_000);
+        sim.run(30);
+        // Both endpoints re-admitted each other...
+        assert_eq!(sim.believed_alive(0), &[1]);
+        assert_eq!(sim.believed_alive(1), &[0, 2]);
+        let mut rehabs = sim.protocol().rehabs.clone();
+        rehabs.sort_unstable();
+        assert_eq!(rehabs, vec![(0, 1), (1, 0)]);
+        assert_eq!(sim.stats().rehabilitated, 2);
+        // ...and traffic across the healed link resumed: node 0 is only
+        // connected to 1, so any delivery to 0 after round 10 proves it.
+        let trace = sim.trace().unwrap();
+        assert!(trace.events().any(|e| matches!(
+            e,
+            Event::LinkHealed {
+                round: 10,
+                a: 0,
+                b: 1
+            }
+        )));
+        assert!(trace
+            .events()
+            .any(|e| matches!(e, Event::Delivered { round, dst: 0, .. } if *round > 10)));
+    }
+
+    #[test]
+    fn node_restart_rejoins_with_fresh_state_hooks() {
+        let g = ring(5);
+        let plan = FaultPlan::none().crash_node(2, 3).restart_node(2, 10);
+        let mut sim = Simulator::new(&g, Recorder::new(5), plan, 17);
+        sim.run(30);
+        assert!(sim.is_alive(2));
+        assert_eq!(sim.alive_nodes().count(), 5);
+        assert_eq!(sim.protocol().restarts, vec![2]);
+        let mut nr = sim.protocol().neighbor_restarts.clone();
+        nr.sort_unstable();
+        assert_eq!(nr, vec![(1, 2), (3, 2)]);
+        assert_eq!(sim.stats().rehabilitated, 2);
+        // Mutual believed-alive sets are whole again.
+        assert_eq!(sim.believed_alive(2), &[1, 3]);
+        assert_eq!(sim.believed_alive(1), &[0, 2]);
+        assert_eq!(sim.believed_alive(3), &[2, 4]);
+        // The restarted node sends again.
+        let received_from_2 = sim
+            .protocol()
+            .received
+            .iter()
+            .flatten()
+            .filter(|&&(from, _)| from == 2)
+            .count();
+        assert!(received_from_2 > 0, "restarted node should resume sending");
+    }
+
+    #[test]
+    fn restart_does_not_readmit_across_dead_link() {
+        let g = bus(3); // 0-1-2
+        let plan = FaultPlan::none()
+            .crash_node(1, 2)
+            .fail_link(0, 1, 4)
+            .restart_node(1, 10);
+        let mut sim = Simulator::new(&g, Recorder::new(3), plan, 5);
+        sim.run(30);
+        // Link (0,1) stays physically dead through the restart.
+        assert_eq!(sim.believed_alive(1), &[2]);
+        assert!(sim.believed_alive(0).is_empty());
+        // Only node 2 runs the neighbor-restart handling.
+        assert_eq!(sim.protocol().neighbor_restarts, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn restart_purges_stale_in_flight_messages() {
+        let g = bus(2);
+        let opts = SimOptions {
+            delay: DelayModel::Fixed(3),
+            ..SimOptions::default()
+        };
+        let plan = FaultPlan::none().crash_node(1, 1).restart_node(1, 2);
+        let mut sim = Simulator::with_options(&g, Recorder::new(2), plan, 3, opts);
+        sim.enable_trace(10_000);
+        sim.run(20);
+        assert_eq!(sim.protocol().restarts, vec![1]);
+        // Everything in flight at the restart (sent in rounds 0 and 1) was
+        // purged: the first delivery comes from a round ≥ 2 send, i.e. at
+        // round ≥ 5.
+        let first = sim
+            .trace()
+            .unwrap()
+            .events()
+            .find_map(|e| match e {
+                Event::Delivered { round, .. } => Some(*round),
+                _ => None,
+            })
+            .expect("traffic should resume after the restart");
+        assert!(first >= 5, "stale in-flight delivery at round {first}");
+    }
+
+    #[test]
+    fn timeout_detector_suspects_after_silence() {
+        let g = bus(2);
+        let opts = SimOptions {
+            detector: DetectorModel::Timeout { window: 3 },
+            ..SimOptions::default()
+        };
+        let plan = FaultPlan::none().crash_node(1, 2);
+        let mut sim = Simulator::with_options(&g, Recorder::new(2), plan, 7, opts);
+        sim.enable_trace(10_000);
+        sim.run(20);
+        // Node 0 last heard from 1 in round 1; silence reaches the window
+        // at the end of round 4 — exactly crash round + window.
+        assert_eq!(sim.protocol().suspects, vec![(0, 1)]);
+        assert_eq!(sim.stats().suspected, 1);
+        assert!(sim.believed_alive(0).is_empty());
+        assert!(sim.trace().unwrap().events().any(|e| matches!(
+            e,
+            Event::NodeSuspected {
+                round: 4,
+                node: 0,
+                neighbor: 1
+            }
+        )));
+        // The oracle stayed silent: no Detected events, no on_link_failed.
+        assert!(sim.protocol().failed_links.is_empty());
+        assert!(!sim
+            .trace()
+            .unwrap()
+            .events()
+            .any(|e| matches!(e, Event::Detected { .. })));
+    }
+
+    #[test]
+    fn false_suspicion_rehabilitated_by_late_arrival() {
+        // Fixed delay 4 with window 3: both nodes suspect each other at the
+        // end of round 3 (nothing has arrived yet), then the round-0
+        // messages arrive in round 4 and rehabilitate — a pure
+        // detector-level false positive, no fault anywhere.
+        let g = bus(2);
+        let opts = SimOptions {
+            delay: DelayModel::Fixed(4),
+            detector: DetectorModel::Timeout { window: 3 },
+            ..SimOptions::default()
+        };
+        let mut sim = Simulator::with_options(&g, Recorder::new(2), FaultPlan::none(), 1, opts);
+        sim.run(40);
+        let s = sim.stats();
+        assert_eq!(s.suspected, 2, "each node suspects once");
+        assert_eq!(s.rehabilitated, 2, "each suspicion is rehabilitated");
+        assert_eq!(sim.protocol().suspects, vec![(0, 1), (1, 0)]);
+        let mut rehabs = sim.protocol().rehabs.clone();
+        rehabs.sort_unstable();
+        assert_eq!(rehabs, vec![(0, 1), (1, 0)]);
+        // Steady state after rehabilitation: traffic flows, no flapping.
+        assert_eq!(sim.believed_alive(0), &[1]);
+        assert_eq!(sim.believed_alive(1), &[0]);
+        assert!(s.delivered > 50, "delivered={}", s.delivered);
+    }
+
+    #[test]
+    fn try_with_options_returns_typed_errors() {
+        let g = ring(4);
+        let opts = SimOptions {
+            activation: Activation::Asynchronous,
+            delay: DelayModel::Fixed(2),
+            ..SimOptions::default()
+        };
+        let err = Simulator::try_with_options(&g, Recorder::new(4), FaultPlan::none(), 0, opts)
+            .err()
+            .unwrap();
+        assert_eq!(err, SimConfigError::AsyncWithDelay);
+        let opts = SimOptions {
+            detector: DetectorModel::Timeout { window: 0 },
+            ..SimOptions::default()
+        };
+        let err = Simulator::try_with_options(&g, Recorder::new(4), FaultPlan::none(), 0, opts)
+            .err()
+            .unwrap();
+        assert_eq!(err, SimConfigError::ZeroTimeoutWindow);
+    }
+
+    #[test]
+    #[should_panic(expected = "restarts node 0, which is alive")]
+    fn restarting_an_alive_node_panics() {
+        let g = bus(2);
+        let plan = FaultPlan::none().restart_node(0, 1);
+        let mut sim = Simulator::new(&g, Recorder::new(2), plan, 0);
+        sim.run(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "heals nonexistent link")]
+    fn healing_a_non_edge_panics() {
+        let g = bus(3);
+        let plan = FaultPlan::none().heal_link(0, 2, 1);
+        let mut sim = Simulator::new(&g, Recorder::new(3), plan, 0);
+        sim.run(3);
     }
 }

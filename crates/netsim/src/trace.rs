@@ -89,6 +89,41 @@ pub enum Event {
         /// The neighbor it lost.
         neighbor: NodeId,
     },
+    /// A failed link returned to service.
+    LinkHealed {
+        /// Round the heal fired.
+        round: u64,
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+    },
+    /// A crashed node rejoined with fresh state.
+    NodeRestarted {
+        /// Round the restart fired.
+        round: u64,
+        /// The restarted node.
+        node: NodeId,
+    },
+    /// A timeout detector suspected a neighbor (possibly falsely).
+    NodeSuspected {
+        /// Round of the suspicion.
+        round: u64,
+        /// Suspecting node.
+        node: NodeId,
+        /// The silent neighbor.
+        neighbor: NodeId,
+    },
+    /// A suspected neighbor proved alive (message arrived, link healed, or
+    /// the node restarted) and was re-admitted.
+    NodeRehabilitated {
+        /// Round of the rehabilitation.
+        round: u64,
+        /// Re-admitting node.
+        node: NodeId,
+        /// The rehabilitated neighbor.
+        neighbor: NodeId,
+    },
 }
 
 impl Event {
@@ -102,7 +137,11 @@ impl Event {
             | Event::BitFlipped { round, .. }
             | Event::LinkFailed { round, .. }
             | Event::NodeCrashed { round, .. }
-            | Event::Detected { round, .. } => round,
+            | Event::Detected { round, .. }
+            | Event::LinkHealed { round, .. }
+            | Event::NodeRestarted { round, .. }
+            | Event::NodeSuspected { round, .. }
+            | Event::NodeRehabilitated { round, .. } => round,
         }
     }
 }
@@ -271,6 +310,34 @@ mod tests {
     #[test]
     fn event_round_accessor() {
         assert_eq!(Event::NodeCrashed { round: 7, node: 3 }.round(), 7);
+        assert_eq!(
+            Event::LinkHealed {
+                round: 4,
+                a: 0,
+                b: 1
+            }
+            .round(),
+            4
+        );
+        assert_eq!(Event::NodeRestarted { round: 6, node: 2 }.round(), 6);
+        assert_eq!(
+            Event::NodeSuspected {
+                round: 8,
+                node: 0,
+                neighbor: 1
+            }
+            .round(),
+            8
+        );
+        assert_eq!(
+            Event::NodeRehabilitated {
+                round: 9,
+                node: 0,
+                neighbor: 1
+            }
+            .round(),
+            9
+        );
         assert_eq!(
             Event::BitFlipped {
                 round: 9,

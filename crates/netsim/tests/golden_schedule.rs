@@ -11,7 +11,8 @@
 //! contract, not a tuning matter.
 
 use gr_netsim::{
-    Activation, DelayModel, FaultPlan, LinkFailure, NodeCrash, Protocol, SimOptions, Simulator,
+    Activation, DelayModel, DetectorModel, FaultPlan, LinkFailure, NodeCrash, Protocol, SimOptions,
+    Simulator,
 };
 use gr_topology::{complete, hypercube, ring, Graph, NodeId};
 
@@ -35,8 +36,10 @@ impl Fnv {
 }
 
 /// Hashes every protocol-visible event in order: sends (`S`), deliveries
-/// with payload bits (`R`), failure detections (`F`). Messages carry the
-/// sender id, so corruption draws change the hash too.
+/// with payload bits (`R`), failure detections (`F`), timeout suspicions
+/// (`U`), rehabilitations (`H`), restarts (`T`) and neighbor-restart
+/// notifications (`N`). Messages carry the sender id, so corruption
+/// draws change the hash too.
 struct EventHasher(Fnv);
 
 impl Protocol for EventHasher {
@@ -58,6 +61,25 @@ impl Protocol for EventHasher {
         self.0.u32(node);
         self.0.u32(neighbor);
     }
+    fn on_suspect(&mut self, node: NodeId, neighbor: NodeId) {
+        self.0.byte(b'U');
+        self.0.u32(node);
+        self.0.u32(neighbor);
+    }
+    fn on_rehabilitate(&mut self, node: NodeId, neighbor: NodeId) {
+        self.0.byte(b'H');
+        self.0.u32(node);
+        self.0.u32(neighbor);
+    }
+    fn on_restart(&mut self, node: NodeId) {
+        self.0.byte(b'T');
+        self.0.u32(node);
+    }
+    fn on_neighbor_restarted(&mut self, node: NodeId, neighbor: NodeId) {
+        self.0.byte(b'N');
+        self.0.u32(node);
+        self.0.u32(neighbor);
+    }
 }
 
 fn run_hash(graph: &Graph, plan: FaultPlan, seed: u64, options: SimOptions, rounds: u64) -> u64 {
@@ -68,6 +90,36 @@ fn run_hash(graph: &Graph, plan: FaultPlan, seed: u64, options: SimOptions, roun
     // not merely the protocol-visible sequence.
     let s = sim.stats();
     for v in [s.sent, s.delivered, s.lost_random, s.lost_dead, s.bit_flips] {
+        h.u64(v);
+    }
+    h.0
+}
+
+/// Like [`run_hash`], but also folds in the failure-detector counters —
+/// used by the suspicion/heal/restart pins, where the detector traffic
+/// (including liveness probes on suspected arcs) is part of the pinned
+/// behaviour. A separate fold list keeps the pre-detector pins intact.
+fn run_hash_detector(
+    graph: &Graph,
+    plan: FaultPlan,
+    seed: u64,
+    options: SimOptions,
+    rounds: u64,
+) -> u64 {
+    let mut sim = Simulator::with_options(graph, EventHasher(Fnv::new()), plan, seed, options);
+    sim.run(rounds);
+    let mut h = std::mem::replace(&mut sim.protocol_mut().0, Fnv::new());
+    let s = sim.stats();
+    for v in [
+        s.sent,
+        s.delivered,
+        s.lost_random,
+        s.lost_dead,
+        s.bit_flips,
+        s.suspected,
+        s.rehabilitated,
+        s.probes_sent,
+    ] {
         h.u64(v);
     }
     h.0
@@ -106,6 +158,7 @@ fn faulty_plan() -> FaultPlan {
             at_round: 40,
             detect_delay: 3,
         }],
+        ..FaultPlan::none()
     }
 }
 
@@ -194,6 +247,73 @@ fn golden_sync_uniform_delay() {
     assert_eq!(
         run_hash(&complete(16), faulty_plan(), 13, opts, 300),
         0x35fb9d4763b15758
+    );
+}
+
+#[test]
+fn golden_sync_timeout_detector() {
+    // Delay-induced false suspicions, probe-driven rehabilitation: pins
+    // the suspicion scan order, the probe ring discipline and the
+    // `U`/`H` hook sequence.
+    let opts = SimOptions {
+        delay: DelayModel::Uniform { min: 0, max: 4 },
+        detector: DetectorModel::Timeout { window: 6 },
+        ..SimOptions::default()
+    };
+    assert_eq!(
+        run_hash_detector(&hypercube(4), FaultPlan::none(), 17, opts, 200),
+        0x16d9bc9fc874941e
+    );
+}
+
+#[test]
+fn golden_sync_link_heal() {
+    // Oracle detection of a scheduled link failure, then a heal: pins the
+    // `F` detections and the heal-driven `H` rehabilitations.
+    let plan = FaultPlan::none()
+        .fail_link(0, 1, 20)
+        .fail_link(2, 6, 20)
+        .heal_link(0, 1, 90)
+        .heal_link(2, 6, 140);
+    assert_eq!(
+        run_hash(&hypercube(4), plan, 11, sync(), 200),
+        0xa93b8e731fb7c51d
+    );
+}
+
+#[test]
+fn golden_sync_node_restart() {
+    // Crash then restart under the oracle detector: pins the `T` restart
+    // hook, the neighbors' `N` notifications and the believed-set
+    // rebuild order.
+    let plan = FaultPlan::none().crash_node(5, 30).restart_node(5, 110);
+    assert_eq!(
+        run_hash(&hypercube(4), plan, 19, sync(), 200),
+        0x59ba996945a1c04c
+    );
+}
+
+#[test]
+fn golden_timeout_heal_restart_cross() {
+    // The full robustness cross-product: timeout detector + delay + loss,
+    // a link failure later healed, and a crash later restarted. Pins the
+    // probe/suspicion interleaving against every scheduled-event path.
+    let opts = SimOptions {
+        delay: DelayModel::Uniform { min: 0, max: 3 },
+        detector: DetectorModel::Timeout { window: 8 },
+        ..SimOptions::default()
+    };
+    let plan = FaultPlan {
+        msg_loss_prob: 0.02,
+        ..FaultPlan::none()
+    }
+    .fail_link(1, 3, 40)
+    .heal_link(1, 3, 120)
+    .crash_node(9, 60)
+    .restart_node(9, 150);
+    assert_eq!(
+        run_hash_detector(&hypercube(4), plan, 23, opts, 250),
+        0xb985c0e8f816cd6b
     );
 }
 

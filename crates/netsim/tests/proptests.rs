@@ -74,8 +74,7 @@ proptest! {
             let plan = FaultPlan {
                 msg_loss_prob: loss,
                 bit_flip_prob: flips,
-                link_failures: vec![],
-                node_crashes: vec![],
+                ..FaultPlan::none()
             };
             let mut sim = Simulator::new(&g, Log::new(), plan, seed);
             sim.run(30);

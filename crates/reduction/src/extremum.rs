@@ -35,6 +35,8 @@ pub enum Extremum {
 pub struct ExtremumGossip {
     kind: Extremum,
     best: Vec<f64>,
+    /// Retained initial values for node restarts.
+    init: Vec<f64>,
 }
 
 impl ExtremumGossip {
@@ -42,8 +44,12 @@ impl ExtremumGossip {
     /// extrema are unweighted).
     pub fn new(graph: &Graph, init: &InitialData<f64>, kind: Extremum) -> Self {
         assert_eq!(graph.len(), init.len(), "graph/init size mismatch");
-        let best = (0..init.len()).map(|i| *init.value(i)).collect();
-        ExtremumGossip { kind, best }
+        let best: Vec<f64> = (0..init.len()).map(|i| *init.value(i)).collect();
+        ExtremumGossip {
+            kind,
+            init: best.clone(),
+            best,
+        }
     }
 
     /// The extremum this instance computes.
@@ -74,6 +80,15 @@ impl Protocol for ExtremumGossip {
 
     fn on_receive(&mut self, node: NodeId, _from: NodeId, msg: &mut f64) {
         self.merge(node, *msg);
+    }
+
+    fn on_restart(&mut self, node: NodeId) {
+        // Rejoin with the retained initial value; the global extremum is
+        // re-adopted within a few exchanges (idempotence — no mass to
+        // re-account). Note the standing asymmetry: if the crashed node
+        // *held* the extremum, its pre-crash contribution survives in the
+        // rest of the network and cannot be retracted.
+        self.best[node as usize] = self.init[node as usize];
     }
 }
 

@@ -168,6 +168,18 @@ impl<'g, P: Payload> Protocol for FlowUpdating<'g, P> {
         self.flows[idx] = P::zeros(self.dim);
         self.nbr_est[idx] = P::zeros(self.dim);
     }
+
+    fn on_restart(&mut self, node: NodeId) {
+        // Rejoin with zeroed per-edge state: the estimate reverts to the
+        // retained `v_i`. Peers reset their mirrors through
+        // `on_neighbor_restarted` (default: the link-failure handling), so
+        // every edge restarts pairwise-conserved.
+        let base = self.graph.arc_base(node);
+        for slot in 0..self.graph.degree(node) {
+            self.flows[base + slot] = P::zeros(self.dim);
+            self.nbr_est[base + slot] = P::zeros(self.dim);
+        }
+    }
 }
 
 impl<'g, P: Payload> ReductionProtocol for FlowUpdating<'g, P> {

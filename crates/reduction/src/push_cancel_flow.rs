@@ -90,6 +90,12 @@ pub struct PcfMsg<P> {
     /// The value of the sender's passive flow at its last fold on this
     /// edge (zero before any fold).
     pub folded: Mass<P>,
+    /// The sender's cumulative fold ledger for this edge (see
+    /// [`ArcState`]'s field of the same name).
+    pub base: Mass<P>,
+    /// The sender's incarnation number for this edge (see
+    /// [`ArcState`]'s field of the same name — bumped on every excision).
+    pub inc: u64,
 }
 
 impl<P: Payload> Corrupt for PcfMsg<P> {
@@ -97,7 +103,9 @@ impl<P: Payload> Corrupt for PcfMsg<P> {
         self.f1.corruptible_bits()
             + self.f2.corruptible_bits()
             + self.folded.corruptible_bits()
+            + self.base.corruptible_bits()
             + 8
+            + 64
             + 64
     }
     fn flip_bit(&mut self, mut bit: u32) {
@@ -116,10 +124,17 @@ impl<P: Payload> Corrupt for PcfMsg<P> {
             return self.folded.flip_bit(bit);
         }
         bit -= b3;
+        let b4 = self.base.corruptible_bits();
+        if bit < b4 {
+            return self.base.flip_bit(bit);
+        }
+        bit -= b4;
         if bit < 8 {
             self.c ^= 1 << bit;
-        } else {
+        } else if bit < 72 {
             self.r ^= 1 << (bit - 8);
+        } else {
+            self.inc ^= 1 << (bit - 72);
         }
     }
 }
@@ -142,16 +157,26 @@ pub struct PcfStats {
     /// Messages ignored because sender and receiver disagreed about which
     /// slot is active and the swap counters did not permit adoption.
     pub ignored_messages: u64,
+    /// Messages rejected because they carried a stale incarnation number:
+    /// they were in flight when the receiver excised the arc, and acting
+    /// on them would re-apply flow state that has already been folded.
+    pub stale_rejected: u64,
+    /// Arc resets forced by a peer's higher incarnation number: the peer
+    /// excised the arc (suspicion or failure detection) and folded its
+    /// half of the flow pair, so we fold ours — the two folds cancel
+    /// globally — and join the new incarnation fresh.
+    pub recancellations: u64,
 }
 
 /// Per-arc protocol state. Kept as one struct (array-of-structs rather
-/// than five parallel arrays) so the two lookups per message touch one
-/// cache line instead of up to five — on large topologies the arc state
-/// no longer fits in L2 and this layout is what keeps the hot loop from
-/// paying a miss per field. The cache-line alignment makes that exact:
-/// a scalar-payload `ArcState` is 64 bytes, and without the alignment
-/// most elements of the `Vec` straddle two lines, doubling the misses of
-/// the random per-receiver access pattern.
+/// than several parallel arrays) so the two lookups per message touch
+/// adjacent cache lines instead of up to seven scattered ones — on large
+/// topologies the arc state no longer fits in L2 and this layout is what
+/// keeps the hot loop from paying a miss per field. The alignment keeps
+/// elements from straddling line boundaries under the random
+/// per-receiver access pattern (a scalar-payload `ArcState` occupies two
+/// lines since the recovery ledger was added; the hot-path fields `f`,
+/// `r`, `c` all sit in the first).
 #[derive(Clone, Debug)]
 #[repr(align(64))]
 struct ArcState<P> {
@@ -164,8 +189,34 @@ struct ArcState<P> {
     /// Value most recently folded on this arc (advertised in messages so
     /// the peer can verify/re-sync its matching fold; see [`PcfMsg`]).
     folded: Mass<P>,
+    /// Cumulative fold ledger for this arc: every value folded here —
+    /// ordinary cancellations and excisions alike — is added, never
+    /// removed. Completed ordinary folds keep the two endpoints' ledgers
+    /// exact negations of each other (the ack path re-syncs them bitwise);
+    /// an excision breaks that symmetry *unilaterally*, so the ledger is
+    /// advertised on the wire and the incarnation-adoption path restores
+    /// antisymmetry by overwriting the adopter's ledger with the negation
+    /// of the peer's — the pair-ledger analogue of PF's absolute-flow
+    /// overwrite, and like it self-healing under loss and reordering.
+    /// Its magnitude converges to the arc's net equilibrium transport,
+    /// which can exceed the live-flow bound — worth remembering when
+    /// sizing a [`PushCancelFlow::with_guard`] bound.
+    base: Mass<P>,
     /// Role-swap counter `r_{i,j}`.
     r: u64,
+    /// Incarnation number: bumped every time this endpoint *excises* the
+    /// arc (fail-detection or suspicion folds both slots and resets the
+    /// control state). Carried on the wire so the two endpoints can fence
+    /// off state from dead generations: a message with a lower number was
+    /// sent before the excision and is rejected; one with a higher number
+    /// proves the peer excised, so this side folds its matching half,
+    /// reconciles the fold ledgers, and adopts the new generation.
+    /// Starts at 1 on both sides; a *self*-bumped number always lands on
+    /// this endpoint's parity class (lower node id → even, higher → odd),
+    /// so simultaneous excisions of the same edge can never collide on
+    /// equal numbers — there is always a strict winner for the two sides
+    /// to reconcile toward.
+    inc: u64,
     /// Active-slot indicator `c_{i,j} ∈ {1,2}`.
     c: u8,
 }
@@ -175,21 +226,22 @@ impl<P: Payload> ArcState<P> {
         ArcState {
             f: [Mass::zero(dim), Mass::zero(dim)],
             folded: Mass::zero(dim),
+            base: Mass::zero(dim),
             r: 1,
+            inc: 1,
             c: 1,
         }
     }
 
-    /// The slot a control value designates (`active(c)`); its partner is
-    /// `passive(c)`. Branchless: `c ∈ {1, 2}` maps to index `0`/`1`.
+    /// The slot a control value designates; its partner (index
+    /// `(2 − c) & 1`) is the passive one. Branchless: `c ∈ {1, 2}` maps
+    /// to index `0`/`1` — slot selection by the control variable is
+    /// address arithmetic rather than a data-dependent branch, because
+    /// `c` alternates per fold generation and arrives in random edge
+    /// order, making such branches inherently unpredictable.
     #[inline(always)]
     fn active(&mut self, c: u8) -> &mut Mass<P> {
         &mut self.f[((c - 1) & 1) as usize]
-    }
-
-    #[inline(always)]
-    fn passive(&mut self, c: u8) -> &mut Mass<P> {
-        &mut self.f[((2 - c) & 1) as usize]
     }
 }
 
@@ -361,12 +413,39 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
     /// sum), so zeroing the slot *is* the fold; in hardened mode the flow
     /// is moved into ϕ explicitly. Either way `e_i` is unchanged.
     #[inline]
-    fn fold_and_clear(mode: PhiMode, phi: &mut Mass<P>, flow: &mut Mass<P>, stats: &mut PcfStats) {
+    fn fold_and_clear(
+        mode: PhiMode,
+        phi: &mut Mass<P>,
+        flow: &mut Mass<P>,
+        base: &mut Mass<P>,
+        stats: &mut PcfStats,
+    ) {
         if mode == PhiMode::Hardened {
             phi.add_assign(flow);
         }
+        base.add_assign(flow);
         flow.clear();
         stats.cancellations += 1;
+    }
+
+    /// Fold *both* slots of an arc into the estimate bookkeeping and the
+    /// fold ledger, and reset its flow/control state (the incarnation
+    /// number is left for the caller, which is what distinguishes an
+    /// excision from a restart). Like any fold, the local estimate does
+    /// not move: in eager mode ϕ keeps the flows' value, in hardened mode
+    /// they are moved into ϕ explicitly.
+    fn fold_arc(mode: PhiMode, phi: &mut Mass<P>, s: &mut ArcState<P>) {
+        let mut total = s.f[0].clone();
+        total.add_assign(&s.f[1]);
+        if mode == PhiMode::Hardened {
+            phi.add_assign(&total);
+        }
+        s.base.add_assign(&total);
+        s.f[0].clear();
+        s.f[1].clear();
+        s.folded.clear();
+        s.c = 1;
+        s.r = 1;
     }
 }
 
@@ -391,6 +470,8 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
             c: s.c,
             r: s.r,
             folded: s.folded.clone(),
+            base: s.base.clone(),
+            inc: s.inc,
         }
     }
 
@@ -429,7 +510,8 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         }
         if !(self.mass_plausible(&msg.f1)
             && self.mass_plausible(&msg.f2)
-            && self.mass_plausible(&msg.folded))
+            && self.mass_plausible(&msg.folded)
+            && self.mass_plausible(&msg.base))
         {
             self.stats.rejected_messages += 1;
             return;
@@ -448,6 +530,34 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         let s = &mut arcs[idx];
         let phi = &mut nodes[i].phi;
 
+        // Incarnation fencing, ahead of all flow interpretation: a lower
+        // number is a message from a generation we already excised —
+        // acting on it would re-apply flow state whose mass has been
+        // folded, double-counting it. A higher number proves the *peer*
+        // excised (false suspicion, failure detection): fold our live
+        // slots into our ledger, then overwrite the ledger with the exact
+        // negation of the peer's advertised one. Ordinary completed folds
+        // already cancel pairwise, so the overwrite heals precisely the
+        // unilateral part — both sides' excision folds and any fold this
+        // side completed against stale in-flight state — restoring the
+        // pairwise ledger antisymmetry that global mass conservation
+        // rests on, out-of-order delivery and simultaneous excisions
+        // included. A corrupted `inc` is self-healing under the same two
+        // rules: the inflated side wins and the other side adopts.
+        if msg.inc < s.inc {
+            stats.stale_rejected += 1;
+            return;
+        }
+        if msg.inc > s.inc {
+            Self::fold_arc(mode, phi, s);
+            let mut delta = s.base.clone();
+            delta.add_assign(&msg.base);
+            phi.sub_assign(&delta);
+            s.base = msg.base.negated();
+            s.inc = msg.inc;
+            stats.recancellations += 1;
+        }
+
         // Fold acknowledgement, evaluated *before* the active-slot
         // agreement guard and in terms of the message's own slot roles:
         // the peer is one generation ahead and reports its passive slot
@@ -464,7 +574,8 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         let msg_pas_by_msg = msg_f[((2 - c_ji) & 1) as usize];
         if s.r + 1 == r_ji && msg_pas_by_msg.is_zero() {
             {
-                let f_pas = s.passive(c_ji);
+                let pas = ((2 - c_ji) & 1) as usize;
+                let f_pas = &mut s.f[pas];
                 if !f_pas.is_neg_of(&msg.folded) {
                     // Our passive moved since the peer verified it (only
                     // possible under message delay): re-sync it with the
@@ -480,8 +591,7 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
                     stats.fold_resyncs += 1;
                 }
                 s.folded = f_pas.clone();
-                let f_pas = s.passive(c_ji);
-                Self::fold_and_clear(mode, phi, f_pas, stats);
+                Self::fold_and_clear(mode, phi, &mut s.f[pas], &mut s.base, stats);
             }
             s.r += 1;
             s.c = 3 - c_ji;
@@ -539,7 +649,7 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         if initiator && msg_pas.is_neg_of(&s.f[pas]) && s.r == r_ji {
             // (i) conservation reached: cancel our passive flow.
             s.folded = s.f[pas].clone();
-            Self::fold_and_clear(mode, phi, &mut s.f[pas], stats);
+            Self::fold_and_clear(mode, phi, &mut s.f[pas], &mut s.base, stats);
             s.r += 1;
         } else if s.r <= r_ji {
             // (iii) passive pair not conserved (e.g. after a loss): treat
@@ -565,18 +675,64 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         // shows no convergence fall-back (paper Fig. 7) while PF — whose
         // estimate is defined as `v − Σf` and therefore *must* jump by the
         // zeroed flow's magnitude — restarts (Fig. 4).
+        //
+        // The incarnation bump makes the same excision safe when the
+        // "failure" is a timeout detector's *suspicion* that may be false
+        // (the default `on_suspect` routes here): the peer is still alive
+        // and still holds its half of the flow pair, but the next message
+        // it receives carries the higher number and triggers the ledger
+        // reconciliation there (see the fencing in `on_receive`). The
+        // bump lands on this endpoint's parity class — lower node id on
+        // even numbers, higher on odd — so when *both* ends suspect each
+        // other in the same window their independent bumps cannot tie:
+        // one side is strictly ahead and the other reconciles toward it.
         let idx = self.arc(node, neighbor);
-        let s = &mut self.arcs[idx];
-        if self.mode == PhiMode::Hardened {
-            let mut delta = s.f[0].clone();
-            delta.add_assign(&s.f[1]);
-            self.nodes[node as usize].phi.add_assign(&delta);
+        let PushCancelFlow {
+            nodes, arcs, mode, ..
+        } = self;
+        let s = &mut arcs[idx];
+        Self::fold_arc(*mode, &mut nodes[node as usize].phi, s);
+        s.inc += 1;
+        if (s.inc & 1) != u64::from(node >= neighbor) {
+            s.inc += 1;
         }
-        s.f[0].clear();
-        s.f[1].clear();
-        s.folded.clear();
-        s.c = 1;
-        s.r = 1;
+    }
+
+    fn on_restart(&mut self, node: NodeId) {
+        // Rejoin with the retained initial data and no memory of past
+        // flows: ϕ = 0 and every incident arc fresh at incarnation 1.
+        // The node's pre-crash mass is *not* resurrected — the simulator
+        // guarantees peers excised the links at crash detection (folding
+        // the in-transit mass in place), so re-contributing exactly
+        // `v_node` once is what makes the restarted node counted exactly
+        // once in the new aggregate.
+        self.nodes[node as usize].phi.clear();
+        let base = self.graph.arc_base(node);
+        for slot in 0..self.graph.degree(node) {
+            self.arcs[base + slot] = ArcState::fresh(self.dim);
+        }
+    }
+
+    fn on_neighbor_restarted(&mut self, node: NodeId, restarted: NodeId) {
+        // The peer came back blank at incarnation 1, so the wire fence
+        // cannot re-sync us (our number is never lower): fold whatever
+        // our half of the old pair still holds and meet the peer fresh.
+        // Usually this is a no-op on the flows — crash detection already
+        // excised them — but under a timeout detector a quick restart can
+        // beat the suspicion window. The fold ledger re-bases to zero on
+        // both sides (without touching ϕ): its pre-crash contents are
+        // exactly the crash-destroyed / restart-recreated part of the
+        // accounting, which no future reconciliation may undo — only the
+        // *relative* ledger matters for the adoption overwrite, and both
+        // ends of the reborn edge restart it from zero together.
+        let idx = self.arc(node, restarted);
+        let PushCancelFlow {
+            nodes, arcs, mode, ..
+        } = self;
+        let s = &mut arcs[idx];
+        Self::fold_arc(*mode, &mut nodes[node as usize].phi, s);
+        s.base.clear();
+        s.inc = 1;
     }
 }
 
@@ -621,7 +777,7 @@ mod tests {
     use super::*;
     use crate::aggregate::AggregateKind;
     use crate::push_flow::PushFlow;
-    use gr_netsim::{FaultPlan, Simulator};
+    use gr_netsim::{DelayModel, DetectorModel, FaultPlan, SimOptions, Simulator};
     use gr_numerics::{max_relative_error, RelErr};
     use gr_topology::{bus, complete, hypercube, ring, torus3d};
     use rand::prelude::*;
@@ -890,6 +1046,8 @@ mod tests {
             c: 7, // corrupted
             r: 1,
             folded: Mass::zero(1),
+            base: Mass::zero(1),
+            inc: 1,
         };
         pcf.on_receive(0, 1, &mut msg);
         assert_eq!(pcf.stats().rejected_messages, 1);
@@ -905,16 +1063,22 @@ mod tests {
             c: 1,
             r: 5,
             folded: Mass::new(4.0, 1.0),
+            base: Mass::new(8.0, 1.0),
+            inc: 2,
         };
-        assert_eq!(m.corruptible_bits(), 128 + 128 + 128 + 8 + 64);
+        assert_eq!(m.corruptible_bits(), 128 + 128 + 128 + 128 + 8 + 64 + 64);
         m.flip_bit(63); // sign of f1.value
         assert_eq!(m.f1.value, -1.0);
         m.flip_bit(256 + 63); // sign of folded.value
         assert_eq!(m.folded.value, -4.0);
-        m.flip_bit(384); // lowest bit of c
+        m.flip_bit(384 + 63); // sign of base.value
+        assert_eq!(m.base.value, -8.0);
+        m.flip_bit(512); // lowest bit of c
         assert_eq!(m.c, 0);
-        m.flip_bit(392); // lowest bit of r
+        m.flip_bit(520); // lowest bit of r
         assert_eq!(m.r, 4);
+        m.flip_bit(584); // lowest bit of inc
+        assert_eq!(m.inc, 3);
     }
 
     #[test]
@@ -960,6 +1124,8 @@ mod tests {
             c: 1,
             r: 1,
             folded: Mass::zero(1),
+            base: Mass::zero(1),
+            inc: 1,
         };
         pcf.on_receive(0, 1, &mut msg);
         assert_eq!(pcf.stats().rejected_messages, 1);
@@ -971,9 +1137,118 @@ mod tests {
             c: 1,
             r: 1,
             folded: Mass::new(f64::NEG_INFINITY, 0.0),
+            base: Mass::zero(1),
+            inc: 1,
         };
         pcf.on_receive(0, 1, &mut msg);
         assert_eq!(pcf.stats().rejected_messages, 2);
+    }
+
+    #[test]
+    fn stale_incarnation_messages_are_rejected() {
+        let g = bus(2);
+        let data = avg_data(2, 17);
+        let mut pcf = PushCancelFlow::new(&g, &data);
+        // A message leaves node 1, then node 0 excises the arc (e.g. a
+        // suspicion) before it arrives: the stale tuple must be fenced off,
+        // not interpreted against the fresh incarnation.
+        let mut stale = pcf.on_send(1, 0);
+        pcf.on_link_failed(0, 1);
+        pcf.on_receive(0, 1, &mut stale);
+        assert_eq!(pcf.stats().stale_rejected, 1);
+        assert!(pcf.flow(0, 1, 1).is_zero());
+        assert!(pcf.flow(0, 1, 2).is_zero());
+        // Node 0's next message advertises the bumped incarnation; node 1
+        // folds its orphaned half (re-cancel) and adopts it.
+        let mut fresh = pcf.on_send(0, 1);
+        pcf.on_receive(1, 0, &mut fresh);
+        assert_eq!(pcf.stats().recancellations, 1);
+        assert_eq!(pcf.swap_round(1, 0), 1);
+    }
+
+    #[test]
+    fn false_suspicion_conserves_mass_both_modes() {
+        // A one-sided excision (false suspicion) followed by continued
+        // operation: every fold is estimate-invariant and the wire fence
+        // re-cancels the peer's half, so total mass never drifts and the
+        // run still converges to the exact aggregate.
+        for mode in [PhiMode::Eager, PhiMode::Hardened] {
+            let g = hypercube(3);
+            let data = avg_data(8, 18);
+            let reference = data.reference()[0];
+            let mut pcf = PushCancelFlow::with_mode(&g, &data, mode);
+            let total_v0: f64 = (0..8).map(|i| pcf.estimate_mass(i).value).sum();
+            let mut rng = StdRng::seed_from_u64(19);
+            for step in 0..1200 {
+                if step == 300 {
+                    pcf.on_suspect(0, g.neighbors(0)[0]);
+                }
+                let i: NodeId = rng.random_range(0..8);
+                let nbrs = g.neighbors(i);
+                let k = nbrs[rng.random_range(0..nbrs.len())];
+                let mut msg = pcf.on_send(i, k);
+                pcf.on_receive(k, i, &mut msg);
+                let total_v: f64 = (0..8).map(|i| pcf.estimate_mass(i).value).sum();
+                assert!(
+                    (total_v - total_v0).abs() < 1e-9,
+                    "{mode:?} step {step}: value drifted to {total_v}"
+                );
+            }
+            assert!(pcf.stats().recancellations >= 1, "{mode:?}");
+            let err = max_relative_error(pcf.scalar_estimates(), reference);
+            assert!(err < 1e-12, "{mode:?}: err={err}");
+        }
+    }
+
+    #[test]
+    fn restarted_node_counted_exactly_once() {
+        // Crash node 3, restart it later: the system must reconverge to
+        // the *new* true average — the crashed node's mass gone, its
+        // initial value re-contributed exactly once.
+        let g = complete(8);
+        let data = avg_data(8, 21);
+        let plan = FaultPlan::none().crash_node(3, 10).restart_node(3, 30);
+        let mut sim = Simulator::new(&g, PushCancelFlow::new(&g, &data), plan, 21);
+        sim.run(10); // the crash fires at the start of round 10
+        let at_crash = sim.protocol().estimate_mass(3);
+        let total_v: f64 = (0..8).map(|i| *data.value(i)).sum();
+        let total_w: f64 = (0..8).map(|i| data.weight(i)).sum();
+        let expected =
+            (total_v - at_crash.value + data.value(3)) / (total_w - at_crash.weight + 1.0);
+        sim.run(400);
+        let err = max_relative_error(sim.protocol().scalar_estimates(), expected.into());
+        assert!(err < 1e-12, "err={err}");
+    }
+
+    #[test]
+    fn survives_false_suspicions_under_timeout_detector() {
+        // Timeout detector + random delay on a fault-free run: suspicions
+        // are *all* false here, each one excises an arc, and the stale
+        // fence plus re-cancel must keep the aggregate exact through the
+        // churn.
+        let g = complete(4);
+        let data = avg_data(4, 22);
+        let reference = data.reference()[0];
+        let opts = SimOptions {
+            delay: DelayModel::Uniform { min: 0, max: 4 },
+            detector: DetectorModel::Timeout { window: 6 },
+            ..SimOptions::default()
+        };
+        let mut sim = Simulator::with_options(
+            &g,
+            PushCancelFlow::new(&g, &data),
+            FaultPlan::none(),
+            22,
+            opts,
+        );
+        sim.run(600);
+        assert!(sim.stats().suspected > 0, "{:?}", sim.stats());
+        assert!(sim.stats().rehabilitated > 0, "{:?}", sim.stats());
+        let stats = sim.protocol().stats();
+        assert!(stats.stale_rejected > 0, "{stats:?}");
+        assert!(stats.recancellations > 0, "{stats:?}");
+        let err = max_relative_error(sim.protocol().scalar_estimates(), reference);
+        assert!(err < 1e-12, "err={err}");
     }
 
     #[test]

@@ -208,6 +208,19 @@ impl<'g, P: Payload> Protocol for PushFlow<'g, P> {
         let idx = self.arc(node, neighbor);
         self.flows[idx].clear();
     }
+
+    fn on_restart(&mut self, node: NodeId) {
+        // Rejoin with zeroed flows: the estimate reverts to the retained
+        // `v_i`, contributing the node's initial mass exactly once.
+        // Surviving peers zero their mirrors via `on_neighbor_restarted`
+        // (default: the link-failure excision), which keeps every flow
+        // pair conserved — at the usual PF price of an O(max|f|) estimate
+        // perturbation on both sides.
+        let base = self.graph.arc_base(node);
+        for f in &mut self.flows[base..base + self.graph.degree(node)] {
+            f.clear();
+        }
+    }
 }
 
 impl<'g, P: Payload> ReductionProtocol for PushFlow<'g, P> {

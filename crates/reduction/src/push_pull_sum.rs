@@ -30,6 +30,8 @@ use gr_topology::{Graph, NodeId};
 /// Push-pull-sum protocol state (all nodes).
 pub struct PushPullSum<P: Payload> {
     mass: Vec<Mass<P>>,
+    /// Retained initial data for node restarts (cf. [`crate::PushSum`]).
+    init: Vec<Mass<P>>,
     dim: usize,
 }
 
@@ -37,10 +39,11 @@ impl<P: Payload> PushPullSum<P> {
     /// Initialise from per-node data.
     pub fn new(graph: &Graph, init: &InitialData<P>) -> Self {
         assert_eq!(graph.len(), init.len(), "graph/init size mismatch");
-        let mass = (0..init.len())
+        let mass: Vec<Mass<P>> = (0..init.len())
             .map(|i| Mass::new(init.value(i).clone(), init.weight(i)))
             .collect();
         PushPullSum {
+            init: mass.clone(),
             mass,
             dim: init.dim(),
         }
@@ -79,6 +82,13 @@ impl<P: Payload> Protocol for PushPullSum<P> {
         let m = &mut self.mass[node as usize];
         m.scale(0.5);
         Some(m.clone())
+    }
+
+    fn on_restart(&mut self, node: NodeId) {
+        // Same story as push-sum: rejoin with the retained initial mass;
+        // the previous life's dispersed mass stays unaccounted (biased
+        // limit — this family is the non-fault-tolerant baseline).
+        self.mass[node as usize] = self.init[node as usize].clone();
     }
 }
 

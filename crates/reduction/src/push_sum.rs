@@ -18,6 +18,10 @@ use gr_topology::{Graph, NodeId};
 /// Push-sum protocol state (all nodes).
 pub struct PushSum<P: Payload> {
     mass: Vec<Mass<P>>,
+    /// Retained initial data, so a restarted node can rejoin with `v_i`
+    /// (its dispersed pre-crash mass is unrecoverable — see
+    /// [`Protocol::on_restart`]).
+    init: Vec<Mass<P>>,
     dim: usize,
 }
 
@@ -27,10 +31,11 @@ impl<P: Payload> PushSum<P> {
     /// per-edge state).
     pub fn new(graph: &Graph, init: &InitialData<P>) -> Self {
         assert_eq!(graph.len(), init.len(), "graph/init size mismatch");
-        let mass = (0..init.len())
+        let mass: Vec<Mass<P>> = (0..init.len())
             .map(|i| Mass::new(init.value(i).clone(), init.weight(i)))
             .collect();
         PushSum {
+            init: mass.clone(),
             mass,
             dim: init.dim(),
         }
@@ -67,6 +72,15 @@ impl<P: Payload> Protocol for PushSum<P> {
 
     // No `on_link_failed` override: push-sum has no failure handling.
     // Whatever mass was in flight or earmarked is simply gone.
+
+    fn on_restart(&mut self, node: NodeId) {
+        // Rejoin with the retained initial mass. Push-sum has no
+        // mass-accounting story for the node's *previous* life (that mass
+        // is dispersed or destroyed), so like every crash-related event in
+        // this baseline the result is a biased limit — the reference
+        // algorithms to compare against are the flow family.
+        self.mass[node as usize] = self.init[node as usize].clone();
+    }
 }
 
 impl<P: Payload> ReductionProtocol for PushSum<P> {

@@ -213,12 +213,17 @@ impl<'a> Parser<'a> {
                 .map(Value::Float)
                 .map_err(|_| Error::new(format!("invalid number `{text}`")))
         } else if text.starts_with('-') {
+            // Integer literals outside the i64/u64 range (e.g. an f64 near
+            // 1e308 rendered without an exponent) fall back to f64, matching
+            // serde_json's default (non-arbitrary-precision) behaviour.
             text.parse::<i64>()
                 .map(Value::Int)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
                 .map_err(|_| Error::new(format!("invalid number `{text}`")))
         } else {
             text.parse::<u64>()
                 .map(Value::UInt)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
                 .map_err(|_| Error::new(format!("invalid number `{text}`")))
         }
     }
@@ -246,6 +251,19 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("1 2").is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn oversized_integers_fall_back_to_float() {
+        // 2^64 and beyond: u64 overflows, the literal is still valid JSON.
+        let v = parse("18446744073709551616").unwrap();
+        assert_eq!(v.as_f64(), Some(1.8446744073709552e19));
+        // A ~1e307 f64 rendered without an exponent round-trips as float.
+        let big = format!("{}", 2.792853836252744e307_f64);
+        let v = parse(&big).unwrap();
+        assert_eq!(v.as_f64(), Some(2.792853836252744e307));
+        let v = parse(&format!("-{big}")).unwrap();
+        assert_eq!(v.as_f64(), Some(-2.792853836252744e307));
     }
 
     #[test]
