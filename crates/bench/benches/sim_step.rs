@@ -1,13 +1,16 @@
 //! The `sim_step` kernel grid — criterion twin of `bench-report`.
 //!
 //! Times one simulator round for PF / PCF / FU on hypercubes of dimension
-//! 6 / 8 / 10, fault-free and under the stress plan, with the same ids as
-//! the `BENCH_2.json` kernels (`sim_step/<alg>/hc<dim>/<plan>`). Criterion
-//! gives the statistical view for local investigation; `bench-report`
-//! produces the committed baseline CI gates on.
+//! 6 / 8 / 10, fault-free and under the stress plan, plus the
+//! vector-payload grid on hc8 (dims 4 / 16 / 64 — straddling the
+//! `InlineVec` inline cap), with the same ids as the `BENCH_3.json`
+//! kernels (`sim_step/<alg>/hc<dim>/<plan>` and
+//! `sim_step/<alg>/hc8/vec<dim>`). Criterion gives the statistical view
+//! for local investigation; `bench-report` produces the committed
+//! baseline CI gates on.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use gr_bench::fixture;
+use gr_bench::{fixture, vector_fixture};
 use gr_netsim::{FaultPlan, LinkFailure, NodeCrash, Protocol, Simulator};
 use gr_reduction::{FlowUpdating, InitialData, PushCancelFlow, PushFlow};
 use gr_topology::Graph;
@@ -88,5 +91,38 @@ fn bench_sim_step(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_sim_step);
+fn bench_sim_step_vec(c: &mut Criterion) {
+    // Vector payloads on hc8, fault-free: dims 4 and 16 run the inline
+    // representation, 64 the heap spill.
+    for vdim in [4usize, 16, 64] {
+        let (g, d) = vector_fixture(8, vdim, SEED);
+        let name = format!("sim_step/hc8/vec{vdim}");
+        let mut group = c.benchmark_group(&name);
+        group.throughput(Throughput::Elements(g.len() as u64));
+        bench_one(
+            &mut group,
+            "pf",
+            &g,
+            PushFlow::new(&g, &d),
+            FaultPlan::none(),
+        );
+        bench_one(
+            &mut group,
+            "pcf",
+            &g,
+            PushCancelFlow::new(&g, &d),
+            FaultPlan::none(),
+        );
+        bench_one(
+            &mut group,
+            "fu",
+            &g,
+            FlowUpdating::new(&g, &d),
+            FaultPlan::none(),
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_sim_step, bench_sim_step_vec);
 criterion_main!(benches);

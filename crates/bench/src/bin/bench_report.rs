@@ -2,14 +2,19 @@
 //!
 //! Times the simulator's hot kernels (one synchronous round of PF / PCF /
 //! FU on hypercubes of dimension 6/8/10, fault-free and under a stress
-//! plan) on a pinned workload and emits `BENCH_2.json` in a stable
-//! schema. CI runs it against the committed baseline and fails on any
-//! regression beyond the tolerance; refreshing the baseline is a
-//! deliberate `bench-report --out BENCH_2.json` + commit.
+//! plan, plus the vector-payload grid on hc8) on a pinned workload and
+//! emits `BENCH_3.json` in a stable schema. Each kernel also reports its
+//! steady-state heap-allocation rate (a counting shim around the system
+//! allocator, armed only during a counted block), so the allocation-free
+//! claim is part of the committed baseline. CI runs the report against
+//! the committed baseline and fails on any time regression beyond the
+//! tolerance *or* any kernel whose baseline allocation rate was zero
+//! turning allocating; refreshing the baseline is a deliberate
+//! `bench-report --out BENCH_3.json` + commit.
 //!
 //! ```text
-//! bench-report                                   # write ./BENCH_2.json
-//! bench-report --out cur.json --baseline BENCH_2.json --tolerance 0.25
+//! bench-report                                   # write ./BENCH_3.json
+//! bench-report --out cur.json --baseline BENCH_3.json --tolerance 0.25
 //! bench-report --blocks 8                        # quicker, noisier
 //! ```
 //!
@@ -17,14 +22,48 @@
 //! measurement sees the steady state, then time `--blocks` blocks of a
 //! dimension-pinned round count and keep the fastest block (the same
 //! min-estimator as the vendored criterion — robust against scheduler
-//! noise, which only ever slows a block down).
+//! noise, which only ever slows a block down). Allocations are counted
+//! over one further block after the timed ones.
 
 use gr_experiments::Opts;
 use gr_netsim::{FaultPlan, LinkFailure, NodeCrash, Protocol, Simulator};
-use gr_reduction::{AggregateKind, FlowUpdating, InitialData, PushCancelFlow, PushFlow};
+use gr_reduction::{AggregateKind, FlowUpdating, InitialData, Payload, PushCancelFlow, PushFlow};
 use gr_topology::{hypercube, Graph};
 use serde_json::Value;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Forwards to [`System`], counting `alloc`/`realloc` calls while armed.
+/// Armed only during the allocation-count block, so the timed blocks pay
+/// a single relaxed load per allocation — noise well below the tolerance.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 /// Master seed for every kernel's workload, schedule and fault streams.
 const SEED: u64 = 1;
@@ -33,6 +72,7 @@ const SEED: u64 = 1;
 struct Kernel {
     name: String,
     ns_per_round: f64,
+    allocs_per_round: f64,
 }
 
 /// The stress plan: probabilistic loss + bit flips, two link failures and
@@ -75,14 +115,14 @@ fn rounds_per_block(dim: u32) -> u64 {
     }
 }
 
-/// Time `sim.step()` over `blocks` blocks and return the fastest block's
-/// ns/round.
+/// Time `sim.step()` over `blocks` blocks (fastest block's ns/round),
+/// then count heap allocations over one further block.
 fn time_steps<P: Protocol>(
     sim: &mut Simulator<'_, P>,
     rounds: u64,
     blocks: usize,
     warmup: u64,
-) -> f64 {
+) -> (f64, f64) {
     sim.run(warmup);
     let mut best = f64::INFINITY;
     for _ in 0..blocks {
@@ -93,16 +133,21 @@ fn time_steps<P: Protocol>(
             best = ns;
         }
     }
-    best
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    sim.run(rounds);
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst) as f64 / rounds as f64;
+    (best, allocs)
 }
 
-fn measure(
+fn measure<P: Payload>(
     graph: &Graph,
-    data: &InitialData<f64>,
+    data: &InitialData<P>,
     alg: &str,
     plan: FaultPlan,
     blocks: usize,
-) -> f64 {
+) -> (f64, f64) {
     let dim = graph.len().trailing_zeros();
     let rounds = rounds_per_block(dim);
     let warmup = rounds.max(64);
@@ -131,6 +176,14 @@ fn measure(
 
 fn run_all(blocks: usize, only: &str) -> Vec<Kernel> {
     let mut kernels = Vec::new();
+    let push = |kernels: &mut Vec<Kernel>, name: String, (ns, allocs): (f64, f64)| {
+        println!("  {name}: {ns:.1} ns/round, {allocs:.2} allocs/round");
+        kernels.push(Kernel {
+            name,
+            ns_per_round: ns,
+            allocs_per_round: allocs,
+        });
+    };
     for dim in [6u32, 8, 10] {
         let graph = hypercube(dim);
         let data = InitialData::uniform_random(graph.len(), AggregateKind::Average, SEED);
@@ -140,12 +193,25 @@ fn run_all(blocks: usize, only: &str) -> Vec<Kernel> {
                 if !only.is_empty() && !name.contains(only) {
                     continue;
                 }
-                let ns = measure(&graph, &data, alg, plan, blocks);
-                println!("  {name}: {ns:.1} ns/round");
-                kernels.push(Kernel {
-                    name,
-                    ns_per_round: ns,
-                });
+                let m = measure(&graph, &data, alg, plan, blocks);
+                push(&mut kernels, name, m);
+            }
+        }
+    }
+    // Vector-payload grid: fault-free hc8, dims straddling the inline cap
+    // (4 and 16 inline, 64 heap-spilled). These are the kernels the
+    // allocation-free vector fast path is accountable to.
+    {
+        let graph = hypercube(8);
+        for vdim in [4usize, 16, 64] {
+            let (_, data) = gr_bench::vector_fixture(8, vdim, SEED);
+            for alg in ["pf", "pcf", "fu"] {
+                let name = format!("sim_step/{alg}/hc8/vec{vdim}");
+                if !only.is_empty() && !name.contains(only) {
+                    continue;
+                }
+                let m = measure(&graph, &data, alg, FaultPlan::none(), blocks);
+                push(&mut kernels, name, m);
             }
         }
     }
@@ -162,13 +228,17 @@ fn report_json(kernels: &[Kernel], blocks: usize) -> Value {
                     "ns_per_round".to_string(),
                     serde_json::to_value(k.ns_per_round).unwrap(),
                 ),
+                (
+                    "allocs_per_round".to_string(),
+                    serde_json::to_value(k.allocs_per_round).unwrap(),
+                ),
             ])
         })
         .collect();
     Value::Object(vec![
         (
             "schema".to_string(),
-            Value::String("gr-bench-report/v1".to_string()),
+            Value::String("gr-bench-report/v2".to_string()),
         ),
         ("seed".to_string(), serde_json::to_value(SEED).unwrap()),
         (
@@ -192,7 +262,7 @@ fn compare(kernels: &[Kernel], baseline: &Value, tolerance: f64) -> Vec<String> 
             None => regressions.push(format!("tracked kernel {name} disappeared")),
             Some(k) => {
                 let ratio = k.ns_per_round / base_ns;
-                let verdict = if ratio > 1.0 + tolerance {
+                let mut verdict = if ratio > 1.0 + tolerance {
                     regressions.push(format!(
                         "{name}: {base_ns:.1} -> {:.1} ns/round ({:+.1}%)",
                         k.ns_per_round,
@@ -202,10 +272,24 @@ fn compare(kernels: &[Kernel], baseline: &Value, tolerance: f64) -> Vec<String> 
                 } else {
                     "ok"
                 };
+                // An allocation-free kernel turning allocating is a
+                // regression regardless of time: the zero is a property
+                // the baseline asserts, not a measurement with noise.
+                if let Some(base_allocs) = b["allocs_per_round"].as_f64() {
+                    if base_allocs == 0.0 && k.allocs_per_round > 0.0 {
+                        regressions.push(format!(
+                            "{name}: allocation-free kernel now allocates ({:.2} allocs/round)",
+                            k.allocs_per_round
+                        ));
+                        verdict = "ALLOC REGRESSION";
+                    }
+                }
                 println!(
-                    "  {name}: baseline {base_ns:.1} current {:.1} ns/round ({:+.1}%) {verdict}",
+                    "  {name}: baseline {base_ns:.1} current {:.1} ns/round ({:+.1}%) \
+                     [{:.2} allocs/round] {verdict}",
                     k.ns_per_round,
-                    (ratio - 1.0) * 100.0
+                    (ratio - 1.0) * 100.0,
+                    k.allocs_per_round,
                 );
             }
         }
@@ -215,7 +299,7 @@ fn compare(kernels: &[Kernel], baseline: &Value, tolerance: f64) -> Vec<String> 
 
 fn main() {
     let opts = Opts::from_env();
-    let out = opts.string("out", "BENCH_2.json");
+    let out = opts.string("out", "BENCH_3.json");
     let baseline_path = opts.string("baseline", "");
     let tolerance = opts.f64("tolerance", 0.25);
     let blocks = opts.u64("blocks", 24) as usize;

@@ -5,8 +5,9 @@
 //! preserved in our new PCF algorithm") and provide per-figure kernels so
 //! regressions in the experiment harness are visible.
 
-use gr_reduction::{AggregateKind, InitialData};
+use gr_reduction::{AggregateKind, InitialData, InlineVec};
 use gr_topology::{hypercube, Graph};
+use rand::prelude::*;
 
 /// Standard benchmark fixture: a hypercube and uniform AVG data.
 pub fn fixture(dim: u32, seed: u64) -> (Graph, InitialData<f64>) {
@@ -14,6 +15,25 @@ pub fn fixture(dim: u32, seed: u64) -> (Graph, InitialData<f64>) {
     let g = hypercube(dim);
     let d = InitialData::uniform_random(n, AggregateKind::Average, seed);
     (g, d)
+}
+
+/// Vector-payload fixture: a hypercube and uniform `payload_dim`-component
+/// AVG data as [`InlineVec`] (inline below the cap, heap spill above), the
+/// payload type the vector fast-path kernels measure.
+pub fn vector_fixture(dim: u32, payload_dim: usize, seed: u64) -> (Graph, InitialData<InlineVec>) {
+    let n = 1usize << dim;
+    let g = hypercube(dim);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<InlineVec> = (0..n)
+        .map(|_| {
+            InlineVec::from(
+                (0..payload_dim)
+                    .map(|_| rng.random::<f64>())
+                    .collect::<Vec<f64>>(),
+            )
+        })
+        .collect();
+    (g, InitialData::with_kind(values, AggregateKind::Average))
 }
 
 #[cfg(test)]
@@ -25,5 +45,13 @@ mod tests {
         let (g, d) = fixture(4, 1);
         assert_eq!(g.len(), 16);
         assert_eq!(d.len(), 16);
+    }
+
+    #[test]
+    fn vector_fixture_shapes() {
+        let (g, d) = vector_fixture(4, 16, 1);
+        assert_eq!(g.len(), 16);
+        assert_eq!(d.len(), 16);
+        assert_eq!(d.dim(), 16);
     }
 }

@@ -16,8 +16,8 @@ use crate::scenario::{Scenario, Workload};
 use gr_netsim::{Protocol, SimStats, Simulator, Trace};
 use gr_numerics::{relative_error, Dd};
 use gr_reduction::{
-    mass_reference, AggregateKind, Algorithm, FlowUpdating, InitialData, Payload, PushCancelFlow,
-    PushFlow, PushSum, ReductionProtocol,
+    mass_reference, AggregateKind, Algorithm, FlowUpdating, InitialData, InlineVec, Payload,
+    PushCancelFlow, PushFlow, PushSum, ReductionProtocol,
 };
 use gr_topology::{Graph, NodeId};
 use rand::prelude::*;
@@ -73,11 +73,14 @@ pub fn run_scenario_traced(
 }
 
 /// Deterministic vector workload: `dim` uniform components per node,
-/// same seeding discipline as `InitialData::uniform_random`.
-fn vector_data(n: usize, dim: usize, seed: u64) -> InitialData<Vec<f64>> {
+/// same seeding discipline as `InitialData::uniform_random`. The draw
+/// order is unchanged from the original `Vec<f64>` workload — `InlineVec`
+/// is numerically transparent, so every fingerprinted result is
+/// byte-identical while small dims run allocation-free.
+fn vector_data(n: usize, dim: usize, seed: u64) -> InitialData<InlineVec> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let values: Vec<Vec<f64>> = (0..n)
-        .map(|_| (0..dim).map(|_| rng.random::<f64>()).collect())
+    let values: Vec<InlineVec> = (0..n)
+        .map(|_| InlineVec::from((0..dim).map(|_| rng.random::<f64>()).collect::<Vec<f64>>()))
         .collect();
     InitialData::with_kind(values, AggregateKind::Average)
 }

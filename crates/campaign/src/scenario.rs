@@ -380,8 +380,15 @@ pub fn sanity_corpus(seeds: &[u64]) -> Vec<Scenario> {
     }
     // Workload block: sum and vector-average on the fast mixers. Flow
     // updating is average-only (it asserts unit weights), so it skips
-    // the sum workload.
-    let workloads = [Workload::Sum, Workload::VectorAvg { dim: 3 }];
+    // the sum workload. The vector dims straddle the small-vector inline
+    // cap (`gr_reduction::INLINE_CAP`): dim 3 runs the inline payload
+    // representation, dim 24 the heap spill — both code paths stay
+    // exercised in CI.
+    let workloads = [
+        Workload::Sum,
+        Workload::VectorAvg { dim: 3 },
+        Workload::VectorAvg { dim: 24 },
+    ];
     for workload in workloads {
         for topology in [TopologyKind::Complete(16), TopologyKind::Hypercube(5)] {
             for algorithm in Algorithm::all() {
@@ -482,6 +489,13 @@ pub fn stress_corpus(seeds: &[u64]) -> Vec<Scenario> {
         rec("restart", 0.05, 0, 0, 0, false, 1, true),
         rec("timeout+heal", 0.02, 3, 10, 1, true, 0, false),
         rec("crash+linkfail", 0.05, 0, 0, 1, false, 1, false),
+        // Delay without a timeout detector: the oracle detector never
+        // falsely suspects, so every disturbance comes from stale
+        // in-flight messages alone. This is the template that drives
+        // PCF's staleness handling (fold resyncs on out-of-date
+        // conservation views) without conflating it with
+        // detector-induced arc churn.
+        rec("delay", 0.05, 4, 0, 0, false, 0, false),
     ];
     let topology = TopologyKind::Hypercube(5);
     for Recovery {
@@ -520,6 +534,46 @@ pub fn stress_corpus(seeds: &[u64]) -> Vec<Scenario> {
                 sc.link_failures = link_failures;
                 sc.crashes = crashes;
                 corpus.push(sc);
+            }
+        }
+    }
+
+    // Scale templates: the ROADMAP's "hypercube 8+, torus 16x16" item.
+    // Larger topologies under a multi-fault plan (two link failures plus
+    // one crash in the same run) and both payload shapes — scalar average
+    // and a vector average sized at the inline cap, so the wide-payload
+    // fast path is exercised at scale. Three scheduled faults stay below
+    // the smallest connectivity in the set (the torus has vertex
+    // connectivity 4), so the survivor graph can never partition. The
+    // round budget is raised: the torus diameter (16) slows mixing
+    // enough that the default stress budget would leave flow updating
+    // short of the reconvergence bar.
+    let scale_topologies = [
+        TopologyKind::Hypercube(8),
+        TopologyKind::Hypercube(10),
+        TopologyKind::Torus2d(16, 16),
+    ];
+    let scale_workloads = [Workload::Average, Workload::VectorAvg { dim: 16 }];
+    for topology in scale_topologies {
+        let rounds = match topology {
+            TopologyKind::Torus2d(..) => 3000,
+            _ => 1500,
+        };
+        for workload in scale_workloads {
+            let template = format!("scale-{}/{}", workload.label(), topology.label());
+            for algorithm in algorithms {
+                for &seed in seeds {
+                    let (link_failures, crashes) =
+                        place_faults(topology, &template, algorithm, seed, 2, 1);
+                    let mut sc =
+                        base_scenario(Lane::Stress, template.clone(), topology, algorithm, seed);
+                    sc.workload = workload;
+                    sc.max_rounds = rounds;
+                    sc.loss = 0.02;
+                    sc.link_failures = link_failures;
+                    sc.crashes = crashes;
+                    corpus.push(sc);
+                }
             }
         }
     }
@@ -732,6 +786,61 @@ mod tests {
             .unwrap();
         assert_eq!(restart.restarts.len(), 1);
         assert_eq!(restart.crashes.len(), 1);
+    }
+
+    #[test]
+    fn scale_templates_carry_multi_fault_plans() {
+        let corpus = stress_corpus(&[1]);
+        for label in [
+            "scale-avg/hypercube8",
+            "scale-avg/hypercube10",
+            "scale-avg/torus16x16",
+            "scale-vec16/hypercube8",
+            "scale-vec16/hypercube10",
+            "scale-vec16/torus16x16",
+        ] {
+            let sc = corpus
+                .iter()
+                .find(|s| s.template == label)
+                .unwrap_or_else(|| panic!("missing scale template {label}"));
+            assert_eq!(sc.link_failures.len(), 2, "{label}");
+            assert_eq!(sc.crashes.len(), 1, "{label}");
+            assert!(sc.has_scheduled_faults());
+            assert!(sc.max_rounds > STRESS_ROUNDS, "{label}");
+            assert_eq!(sc.validate(), Ok(()));
+        }
+        let vec16 = corpus
+            .iter()
+            .find(|s| s.template == "scale-vec16/torus16x16")
+            .unwrap();
+        assert_eq!(vec16.workload, Workload::VectorAvg { dim: 16 });
+        assert_eq!(vec16.topology.nodes(), 256);
+    }
+
+    #[test]
+    fn delay_template_uses_oracle_detector_synchronously() {
+        let corpus = stress_corpus(&[1]);
+        let sc = corpus
+            .iter()
+            .find(|s| s.template.starts_with("delay/"))
+            .unwrap();
+        let opts = sc.sim_options();
+        assert_eq!(opts.activation, Activation::Synchronous);
+        assert_eq!(opts.delay, DelayModel::Uniform { min: 0, max: 4 });
+        assert_eq!(opts.detector, DetectorModel::Oracle);
+        assert!(!sc.has_scheduled_faults());
+    }
+
+    #[test]
+    fn sanity_vector_workloads_straddle_the_inline_cap() {
+        use gr_reduction::INLINE_CAP;
+        let corpus = sanity_corpus(&[1]);
+        assert!(corpus
+            .iter()
+            .any(|s| matches!(s.workload, Workload::VectorAvg { dim } if dim <= INLINE_CAP)));
+        assert!(corpus
+            .iter()
+            .any(|s| matches!(s.workload, Workload::VectorAvg { dim } if dim > INLINE_CAP)));
     }
 
     #[test]

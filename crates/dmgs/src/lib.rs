@@ -32,7 +32,9 @@
 use gr_linalg::Matrix;
 use gr_netsim::{FaultPlan, Simulator};
 use gr_numerics::Dd;
-use gr_reduction::{Algorithm, InitialData, PushCancelFlow, PushFlow, PushSum, ReductionProtocol};
+use gr_reduction::{
+    Algorithm, InitialData, InlineVec, PushCancelFlow, PushFlow, PushSum, ReductionProtocol,
+};
 use gr_topology::{Graph, NodeId};
 
 /// Configuration of a dmGS run.
@@ -111,8 +113,14 @@ fn vector_sum_reduction(
     // measurably more accurate at scale than the single-unit-weight SUM
     // start (whose per-node weights are O(1/N) and noisy — compare the
     // SUM vs AVG series of Figs. 3/6).
+    // Payloads ride as `InlineVec` so every per-column batch at or below
+    // the inline cap runs the reduction allocation-free; results are
+    // bit-identical to `Vec<f64>` payloads (see `payload_equiv`).
     let n = graph.len() as f64;
-    let data = InitialData::with_kind(locals, gr_reduction::AggregateKind::Average);
+    let data = InitialData::with_kind(
+        locals.into_iter().map(InlineVec::from).collect(),
+        gr_reduction::AggregateKind::Average,
+    );
     let seed = cfg.seed ^ (0x9E37_79B9 * (reduction_idx + 1));
     let plan = if cfg.msg_loss_prob > 0.0 {
         FaultPlan::with_loss(cfg.msg_loss_prob)
@@ -146,7 +154,7 @@ fn vector_sum_reduction(
 fn drive<Pr: ReductionProtocol>(
     graph: &Graph,
     protocol: Pr,
-    data: &InitialData<Vec<f64>>,
+    data: &InitialData<InlineVec>,
     plan: FaultPlan,
     seed: u64,
     cfg: &DmgsConfig,

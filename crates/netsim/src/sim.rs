@@ -95,6 +95,18 @@ pub trait Protocol {
         let _ = (node, from);
         None
     }
+
+    /// Take back ownership of a message buffer the transport is done with
+    /// (it was delivered — possibly gutted by an `on_receive` steal — or
+    /// dropped in transit). Protocols that pool wire buffers push it onto
+    /// their free list so the next `on_send` can refill it instead of
+    /// allocating; the recycling mirrors the simulator's delivery-bucket
+    /// slot reuse. Must not mutate observable protocol state. Default:
+    /// drop the buffer.
+    #[inline]
+    fn reclaim(&mut self, msg: Self::Msg) {
+        let _ = msg;
+    }
 }
 
 /// Counters accumulated over a run.
@@ -792,6 +804,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 self.protocol.on_receive(to, replier, &mut reply);
                 self.note_delivery(replier, to);
             }
+            self.protocol.reclaim(reply);
         }
     }
 
@@ -1015,8 +1028,13 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 self.deliver_reply(dst, src);
             }
         }
-        batch.clear();
-        self.buckets[slot] = batch; // hand the allocation back
+        // Hand every wire buffer back to the protocol's free list (and the
+        // batch Vec's allocation back to the bucket ring). Dropped-in-
+        // transit messages recycle the same way as delivered ones.
+        for (_, _, msg) in batch.drain(..) {
+            self.protocol.reclaim(msg);
+        }
+        self.buckets[slot] = batch;
     }
 
     fn step_asynchronous(&mut self) {
@@ -1055,6 +1073,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 self.note_delivery(i, target);
                 self.deliver_reply(target, i);
             }
+            self.protocol.reclaim(msg);
         }
     }
 

@@ -60,6 +60,13 @@ pub struct FlowUpdating<'g, P: Payload> {
     /// Last known estimate of the neighbor across each arc.
     nbr_est: Vec<P>,
     dim: usize,
+    /// Recycled wire buffers (fed by [`Protocol::reclaim`]).
+    pool: Vec<FuMsg<P>>,
+    /// Reused estimate / pairwise-average buffers for `on_send` — keep
+    /// heap-spilled payloads (dim above the inline cap) allocation-free
+    /// on the hot path.
+    scratch_e: P,
+    scratch_a: P,
 }
 
 impl<'g, P: Payload> FlowUpdating<'g, P> {
@@ -87,6 +94,9 @@ impl<'g, P: Payload> FlowUpdating<'g, P> {
             flows: vec![P::zeros(dim); arcs],
             nbr_est: vec![P::zeros(dim); arcs],
             dim,
+            pool: Vec::new(),
+            scratch_e: P::zeros(dim),
+            scratch_a: P::zeros(dim),
         }
     }
 
@@ -138,19 +148,44 @@ impl<'g, P: Payload> Protocol for FlowUpdating<'g, P> {
         // my belief about the target's, then set the flow so that my value
         // becomes exactly `a` and (by antisymmetry) the target's would too.
         let idx = self.arc(node, target);
-        let e = self.estimate_value(node);
+        let FlowUpdating {
+            graph,
+            init,
+            flows,
+            nbr_est,
+            scratch_e,
+            scratch_a,
+            pool,
+            ..
+        } = self;
+        // e_i into the scratch buffer ([`Self::estimate_value`] with the
+        // same operation order, minus the allocation).
+        scratch_e.copy_from_components(init[node as usize].components());
+        let base = graph.arc_base(node);
+        for slot in 0..graph.degree(node) {
+            scratch_e.sub_assign(&flows[base + slot]);
+        }
         // a = (e + nbr_est)/2
-        let mut a = e.clone();
-        a.add_assign(&self.nbr_est[idx]);
-        a.scale(0.5);
-        // f += e − a  (moves my estimate to a)
-        let mut delta = e;
-        delta.sub_assign(&a);
-        self.flows[idx].add_assign(&delta);
-        self.nbr_est[idx] = a.clone();
-        FuMsg {
-            flow: self.flows[idx].clone(),
-            estimate: a,
+        scratch_a.copy_from_components(scratch_e.components());
+        scratch_a.add_assign(&nbr_est[idx]);
+        scratch_a.scale(0.5);
+        // f += e − a  (moves my estimate to a); e is dead after this, so
+        // its buffer doubles as the delta.
+        scratch_e.sub_assign(scratch_a);
+        flows[idx].add_assign(scratch_e);
+        nbr_est[idx].copy_from_components(scratch_a.components());
+        // Recycled buffers are fully overwritten, so the wire bytes are
+        // identical to a freshly cloned message.
+        match pool.pop() {
+            Some(mut msg) => {
+                msg.flow.copy_from_components(flows[idx].components());
+                msg.estimate.copy_from_components(scratch_a.components());
+                msg
+            }
+            None => FuMsg {
+                flow: flows[idx].clone(),
+                estimate: scratch_a.clone(),
+            },
         }
     }
 
@@ -161,6 +196,10 @@ impl<'g, P: Payload> Protocol for FlowUpdating<'g, P> {
         msg.flow.negate();
         std::mem::swap(&mut self.flows[idx], &mut msg.flow);
         std::mem::swap(&mut self.nbr_est[idx], &mut msg.estimate);
+    }
+
+    fn reclaim(&mut self, msg: FuMsg<P>) {
+        self.pool.push(msg);
     }
 
     fn on_link_failed(&mut self, node: NodeId, neighbor: NodeId) {

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod aggregate;
+pub(crate) mod bank;
 pub mod convergence;
 pub mod extremum;
 pub mod flow_updating;
@@ -57,7 +58,7 @@ pub use aggregate::{AggregateKind, InitialData};
 pub use convergence::LocalConvergence;
 pub use extremum::{Extremum, ExtremumGossip};
 pub use flow_updating::FlowUpdating;
-pub use payload::{Mass, Payload};
+pub use payload::{InlineVec, Mass, Payload, INLINE_CAP};
 pub use protocol::ReductionProtocol;
 pub use push_cancel_flow::{PcfMsg, PhiMode, PushCancelFlow};
 pub use push_flow::PushFlow;

@@ -60,6 +60,20 @@ pub trait Payload: Clone + PartialEq + fmt::Debug + Corrupt + Send + 'static {
     /// Implementations panic if the slice length does not fit the type
     /// (scalar payloads require exactly one component).
     fn from_components(comps: &[f64]) -> Self;
+
+    /// Mutable view of the scalar components.
+    ///
+    /// The slice aliases the payload's storage, so componentwise kernels
+    /// (the structure-of-arrays flow banks) can update a payload in place
+    /// without routing every operation through a `Self`-typed temporary.
+    fn components_mut(&mut self) -> &mut [f64];
+
+    /// Overwrite `self` with `comps`, reusing the existing allocation
+    /// whenever the dimension already matches (it always does on the
+    /// steady-state paths — payload dimensions are fixed per run). This is
+    /// the no-alloc counterpart of [`Payload::from_components`] used when
+    /// refilling recycled wire buffers.
+    fn copy_from_components(&mut self, comps: &[f64]);
 }
 
 impl Payload for f64 {
@@ -109,6 +123,15 @@ impl Payload for f64 {
         assert_eq!(comps.len(), 1, "scalar payload has one component");
         comps[0]
     }
+    #[inline]
+    fn components_mut(&mut self) -> &mut [f64] {
+        std::slice::from_mut(self)
+    }
+    #[inline]
+    fn copy_from_components(&mut self, comps: &[f64]) {
+        assert_eq!(comps.len(), 1, "scalar payload has one component");
+        *self = comps[0];
+    }
 }
 
 impl Payload for Vec<f64> {
@@ -154,6 +177,181 @@ impl Payload for Vec<f64> {
     }
     fn from_components(comps: &[f64]) -> Self {
         comps.to_vec()
+    }
+    fn components_mut(&mut self) -> &mut [f64] {
+        self
+    }
+    fn copy_from_components(&mut self, comps: &[f64]) {
+        if self.len() == comps.len() {
+            self.copy_from_slice(comps);
+        } else {
+            self.clear();
+            self.extend_from_slice(comps);
+        }
+    }
+}
+
+/// Largest dimension an [`InlineVec`] stores inline (in the payload
+/// itself, without a heap allocation). Chosen to cover the dot-product
+/// batches `gr-dmgs` actually ships (a panel of ≤16 columns) while keeping
+/// the inline footprint at two cache lines.
+pub const INLINE_CAP: usize = 16;
+
+/// The storage of an [`InlineVec`]: components live in the fixed inline
+/// buffer up to [`INLINE_CAP`], on the heap above it. The representation is
+/// decided once (by the construction dimension) and never migrates —
+/// payload dimensions are fixed per run.
+#[derive(Clone, Debug)]
+enum Repr {
+    Inline { len: u8, buf: [f64; INLINE_CAP] },
+    Heap(Vec<f64>),
+}
+
+/// A small-vector payload: bit-identical arithmetic to `Vec<f64>`, but
+/// dimensions up to [`INLINE_CAP`] are stored inline so cloning a mass or
+/// refilling a wire buffer never touches the allocator.
+///
+/// Every operation routes through [`InlineVec::as_slice`] /
+/// [`InlineVec::as_mut_slice`] and reuses the exact componentwise loops of
+/// the `Vec<f64>` impl, so a run over `InlineVec` payloads replays the
+/// `Vec<f64>` run bit for bit (pinned by the `payload_equiv` proptest).
+#[derive(Debug)]
+pub struct InlineVec(Repr);
+
+impl InlineVec {
+    /// Read-only view of the components.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Mutable view of the components.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        match &mut self.0 {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// `true` iff the components are stored inline (no heap allocation).
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
+    }
+}
+
+impl Clone for InlineVec {
+    #[inline]
+    fn clone(&self) -> Self {
+        InlineVec(self.0.clone())
+    }
+    #[inline]
+    fn clone_from(&mut self, source: &Self) {
+        // Reuse an existing heap buffer instead of reallocating (the
+        // derived `clone_from` would drop and clone). Inline reprs are a
+        // plain copy either way.
+        match (&mut self.0, &source.0) {
+            (Repr::Heap(dst), Repr::Heap(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
+    }
+}
+
+impl PartialEq for InlineVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<f64>> for InlineVec {
+    fn from(v: Vec<f64>) -> Self {
+        InlineVec::from_components(&v)
+    }
+}
+
+impl Corrupt for InlineVec {
+    fn corruptible_bits(&self) -> u32 {
+        // Same layout as `Vec<f64>`: 64 sequential bits per component.
+        self.as_slice().len() as u32 * 64
+    }
+    fn flip_bit(&mut self, bit: u32) {
+        let comps = self.as_mut_slice();
+        let idx = (bit / 64) as usize;
+        assert!(idx < comps.len(), "bit index out of range for InlineVec");
+        comps[idx].flip_bit(bit % 64);
+    }
+}
+
+impl Payload for InlineVec {
+    fn zeros(dim: usize) -> Self {
+        if dim <= INLINE_CAP {
+            InlineVec(Repr::Inline {
+                len: dim as u8,
+                buf: [0.0; INLINE_CAP],
+            })
+        } else {
+            InlineVec(Repr::Heap(vec![0.0; dim]))
+        }
+    }
+    fn dim(&self) -> usize {
+        self.as_slice().len()
+    }
+    fn add_assign(&mut self, rhs: &Self) {
+        let (a, b) = (self.as_mut_slice(), rhs.as_slice());
+        debug_assert_eq!(a.len(), b.len());
+        for (a, b) in a.iter_mut().zip(b) {
+            *a += *b;
+        }
+    }
+    fn sub_assign(&mut self, rhs: &Self) {
+        let (a, b) = (self.as_mut_slice(), rhs.as_slice());
+        debug_assert_eq!(a.len(), b.len());
+        for (a, b) in a.iter_mut().zip(b) {
+            *a -= *b;
+        }
+    }
+    fn negate(&mut self) {
+        for a in self.as_mut_slice() {
+            *a = -*a;
+        }
+    }
+    fn scale(&mut self, s: f64) {
+        for a in self.as_mut_slice() {
+            *a *= s;
+        }
+    }
+    fn set_zero(&mut self) {
+        self.as_mut_slice().fill(0.0);
+    }
+    fn eq_components(&self, rhs: &Self) -> bool {
+        let (a, b) = (self.as_slice(), rhs.as_slice());
+        a.len() == b.len() && a.iter().zip(b).all(|(a, b)| a == b)
+    }
+    fn is_neg_of(&self, rhs: &Self) -> bool {
+        let (a, b) = (self.as_slice(), rhs.as_slice());
+        a.len() == b.len() && a.iter().zip(b).all(|(a, b)| *a == -*b)
+    }
+    fn components(&self) -> &[f64] {
+        self.as_slice()
+    }
+    fn from_components(comps: &[f64]) -> Self {
+        let mut v = Self::zeros(comps.len());
+        v.as_mut_slice().copy_from_slice(comps);
+        v
+    }
+    fn components_mut(&mut self) -> &mut [f64] {
+        self.as_mut_slice()
+    }
+    fn copy_from_components(&mut self, comps: &[f64]) {
+        if self.as_slice().len() == comps.len() {
+            self.as_mut_slice().copy_from_slice(comps);
+        } else {
+            *self = Self::from_components(comps);
+        }
     }
 }
 
@@ -226,6 +424,14 @@ impl<P: Payload> Mass<P> {
     pub fn clear(&mut self) {
         self.value.set_zero();
         self.weight = 0.0;
+    }
+
+    /// Overwrite `self` with `src` without allocating (dimension
+    /// permitting) — the recycled-wire-buffer counterpart of `clone_from`.
+    #[inline]
+    pub fn copy_from(&mut self, src: &Self) {
+        self.value.copy_from_components(src.value.components());
+        self.weight = src.weight;
     }
 
     /// Conservation test: `self == -rhs` on every component and the weight.
@@ -350,6 +556,72 @@ mod tests {
         m.flip_bit(64 + 63); // sign bit of weight
         assert_eq!(m.weight, -1.0);
         assert_eq!(m.value, 1.0);
+    }
+
+    #[test]
+    fn inline_vec_matches_vec_ops_both_sides_of_cap() {
+        for dim in [1, 4, INLINE_CAP, INLINE_CAP + 8, 64] {
+            let comps: Vec<f64> = (0..dim).map(|k| 0.5 * k as f64 - 3.0).collect();
+            let rhs: Vec<f64> = (0..dim).map(|k| 1.0 / (k as f64 + 1.0)).collect();
+            let mut iv = InlineVec::from_components(&comps);
+            assert_eq!(iv.is_inline(), dim <= INLINE_CAP);
+            assert_eq!(iv.dim(), dim);
+            let mut v = comps.clone();
+            iv.add_assign(&InlineVec::from_components(&rhs));
+            v.add_assign(&rhs);
+            assert_eq!(iv.components(), v.as_slice());
+            iv.scale(-0.75);
+            v.scale(-0.75);
+            assert_eq!(iv.components(), v.as_slice());
+            iv.sub_assign(&InlineVec::from_components(&rhs));
+            v.sub_assign(&rhs);
+            assert_eq!(iv.components(), v.as_slice());
+            let neg = {
+                let mut n = iv.clone();
+                n.negate();
+                n
+            };
+            assert!(iv.is_neg_of(&neg));
+            assert!(iv.eq_components(&iv.clone()));
+            iv.set_zero();
+            assert!(iv.components().iter().all(|&c| c == 0.0));
+        }
+    }
+
+    #[test]
+    fn inline_vec_corruption_matches_vec_layout() {
+        for dim in [3, INLINE_CAP + 2] {
+            let comps: Vec<f64> = (0..dim).map(|k| k as f64 + 1.0).collect();
+            let mut iv = InlineVec::from_components(&comps);
+            let mut v = comps.clone();
+            assert_eq!(iv.corruptible_bits(), v.corruptible_bits());
+            for bit in [0, 63, 64 * (dim as u32 - 1) + 17] {
+                iv.flip_bit(bit);
+                v.flip_bit(bit);
+            }
+            assert_eq!(iv.components(), v.as_slice());
+        }
+    }
+
+    #[test]
+    fn inline_vec_copy_from_components_reuses_storage() {
+        let mut iv = InlineVec::zeros(4);
+        iv.copy_from_components(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(iv.components(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(iv.is_inline());
+        let mut big = InlineVec::zeros(INLINE_CAP + 4);
+        assert!(!big.is_inline());
+        let vals: Vec<f64> = (0..INLINE_CAP + 4).map(|k| k as f64).collect();
+        big.copy_from_components(&vals);
+        assert_eq!(big.components(), vals.as_slice());
+    }
+
+    #[test]
+    fn mass_copy_from_matches_clone() {
+        let src = Mass::new(InlineVec::from_components(&[1.5, -2.5]), 0.75);
+        let mut dst = Mass::zero(2);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

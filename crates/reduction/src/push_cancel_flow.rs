@@ -47,6 +47,7 @@
 //! re-summation is benign here precisely because PCF keeps flows small.
 
 use crate::aggregate::InitialData;
+use crate::bank::{self, FlowBank};
 use crate::payload::{Mass, Payload};
 use crate::protocol::ReductionProtocol;
 use gr_netsim::{Corrupt, Protocol};
@@ -90,11 +91,11 @@ pub struct PcfMsg<P> {
     /// The value of the sender's passive flow at its last fold on this
     /// edge (zero before any fold).
     pub folded: Mass<P>,
-    /// The sender's cumulative fold ledger for this edge (see
-    /// [`ArcState`]'s field of the same name).
+    /// The sender's cumulative fold ledger for this edge (see the
+    /// [`BASE`] bank field's docs).
     pub base: Mass<P>,
     /// The sender's incarnation number for this edge (see
-    /// [`ArcState`]'s field of the same name — bumped on every excision).
+    /// [`ArcCtl::inc`] — bumped on every excision).
     pub inc: u64,
 }
 
@@ -168,40 +169,61 @@ pub struct PcfStats {
     pub recancellations: u64,
 }
 
-/// Per-arc protocol state. Kept as one struct (array-of-structs rather
-/// than several parallel arrays) so the two lookups per message touch
-/// adjacent cache lines instead of up to seven scattered ones — on large
-/// topologies the arc state no longer fits in L2 and this layout is what
-/// keeps the hot loop from paying a miss per field. The alignment keeps
-/// elements from straddling line boundaries under the random
-/// per-receiver access pattern (a scalar-payload `ArcState` occupies two
-/// lines since the recovery ledger was added; the hot-path fields `f`,
-/// `r`, `c` all sit in the first).
+/// Bank field index of flow slot 1 (`f_{i,j,1}`).
+const F1: usize = 0;
+/// Bank field index of flow slot 2 (`f_{i,j,2}`).
+const F2: usize = 1;
+/// Bank field index of the value most recently folded on the arc
+/// (advertised in messages so the peer can verify/re-sync its matching
+/// fold; see [`PcfMsg`]).
+const FOLDED: usize = 2;
+/// Bank field index of the cumulative fold ledger: every value folded on
+/// the arc — ordinary cancellations and excisions alike — is added, never
+/// removed. Completed ordinary folds keep the two endpoints' ledgers
+/// exact negations of each other (the ack path re-syncs them bitwise);
+/// an excision breaks that symmetry *unilaterally*, so the ledger is
+/// advertised on the wire and the incarnation-adoption path restores
+/// antisymmetry by overwriting the adopter's ledger with the negation
+/// of the peer's — the pair-ledger analogue of PF's absolute-flow
+/// overwrite, and like it self-healing under loss and reordering.
+/// Its magnitude converges to the arc's net equilibrium transport,
+/// which can exceed the live-flow bound — worth remembering when
+/// sizing a [`PushCancelFlow::with_guard`] bound.
+const BASE: usize = 3;
+/// Vector variables per arc in the bank.
+const FIELDS: usize = 4;
+
+/// The flow slot a control value designates (`c ∈ {1, 2}` maps to bank
+/// field `F1`/`F2`); its partner ([`pas_idx`]) is the passive one.
+/// Branchless: slot selection by the control variable is address
+/// arithmetic rather than a data-dependent branch, because `c` alternates
+/// per fold generation and arrives in random edge order, making such
+/// branches inherently unpredictable.
+#[inline(always)]
+fn act_idx(c: u8) -> usize {
+    ((c - 1) & 1) as usize
+}
+
+/// The passive partner slot of control value `c` (see [`act_idx`]).
+#[inline(always)]
+fn pas_idx(c: u8) -> usize {
+    ((2 - c) & 1) as usize
+}
+
+/// Per-arc *control* state: the weights of the four vector variables plus
+/// the role/control counters. The value components live at the same arc
+/// index in the structure-of-arrays [`FlowBank`] (fields [`F1`]/[`F2`]/
+/// [`FOLDED`]/[`BASE`]), so a message receipt touches exactly one `ArcCtl`
+/// line plus one contiguous bank row regardless of payload dimension —
+/// on large topologies the arc state no longer fits in L2 and this split
+/// is what keeps the hot loop from paying a miss per field. The alignment
+/// keeps elements from straddling line boundaries under the random
+/// per-receiver access pattern.
 #[derive(Clone, Debug)]
 #[repr(align(64))]
-struct ArcState<P> {
-    /// The two flow slots `f_{i,j,1}` / `f_{i,j,2}`, indexed `c − 1`.
-    /// Stored as an array so that slot selection by the control variable
-    /// is address arithmetic rather than a data-dependent branch — `c`
-    /// alternates per fold generation and arrives in random edge order,
-    /// so such branches are inherently unpredictable.
-    f: [Mass<P>; 2],
-    /// Value most recently folded on this arc (advertised in messages so
-    /// the peer can verify/re-sync its matching fold; see [`PcfMsg`]).
-    folded: Mass<P>,
-    /// Cumulative fold ledger for this arc: every value folded here —
-    /// ordinary cancellations and excisions alike — is added, never
-    /// removed. Completed ordinary folds keep the two endpoints' ledgers
-    /// exact negations of each other (the ack path re-syncs them bitwise);
-    /// an excision breaks that symmetry *unilaterally*, so the ledger is
-    /// advertised on the wire and the incarnation-adoption path restores
-    /// antisymmetry by overwriting the adopter's ledger with the negation
-    /// of the peer's — the pair-ledger analogue of PF's absolute-flow
-    /// overwrite, and like it self-healing under loss and reordering.
-    /// Its magnitude converges to the arc's net equilibrium transport,
-    /// which can exceed the live-flow bound — worth remembering when
-    /// sizing a [`PushCancelFlow::with_guard`] bound.
-    base: Mass<P>,
+struct ArcCtl {
+    /// Weights of the four vector variables, indexed by bank field.
+    w: [f64; FIELDS],
     /// Role-swap counter `r_{i,j}`.
     r: u64,
     /// Incarnation number: bumped every time this endpoint *excises* the
@@ -221,27 +243,14 @@ struct ArcState<P> {
     c: u8,
 }
 
-impl<P: Payload> ArcState<P> {
-    fn fresh(dim: usize) -> Self {
-        ArcState {
-            f: [Mass::zero(dim), Mass::zero(dim)],
-            folded: Mass::zero(dim),
-            base: Mass::zero(dim),
+impl ArcCtl {
+    fn fresh() -> Self {
+        ArcCtl {
+            w: [0.0; FIELDS],
             r: 1,
             inc: 1,
             c: 1,
         }
-    }
-
-    /// The slot a control value designates; its partner (index
-    /// `(2 − c) & 1`) is the passive one. Branchless: `c ∈ {1, 2}` maps
-    /// to index `0`/`1` — slot selection by the control variable is
-    /// address arithmetic rather than a data-dependent branch, because
-    /// `c` alternates per fold generation and arrives in random edge
-    /// order, making such branches inherently unpredictable.
-    #[inline(always)]
-    fn active(&mut self, c: u8) -> &mut Mass<P> {
-        &mut self.f[((c - 1) & 1) as usize]
     }
 }
 
@@ -260,13 +269,21 @@ pub struct PushCancelFlow<'g, P: Payload> {
     mode: PhiMode,
     /// Per-node data (`ϕ_i` meaning depends on `mode`).
     nodes: Vec<NodeState<P>>,
-    /// Per-arc flow/control state, `arcs[arc(i, j)]`.
-    arcs: Vec<ArcState<P>>,
+    /// Per-arc control state, `ctl[arc(i, j)]`.
+    ctl: Vec<ArcCtl>,
+    /// Value components of the four per-arc vector variables
+    /// (structure-of-arrays; see [`ArcCtl`]).
+    bank: FlowBank,
     /// Optional plausibility bound on incoming flows (see
     /// [`PushCancelFlow::with_guard`]).
     guard: Option<f64>,
     dim: usize,
     stats: PcfStats,
+    /// Recycled wire buffers (fed by [`Protocol::reclaim`]).
+    pool: Vec<PcfMsg<P>>,
+    /// Reused estimate buffer for `on_send` — keeps heap-spilled payloads
+    /// (dim above the inline cap) allocation-free on the hot path.
+    scratch: Mass<P>,
 }
 
 impl<'g, P: Payload> PushCancelFlow<'g, P> {
@@ -285,17 +302,18 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
                 phi: Mass::zero(dim),
             })
             .collect();
-        let arcs = (0..graph.arc_count())
-            .map(|_| ArcState::fresh(dim))
-            .collect();
+        let arcs = graph.arc_count();
         PushCancelFlow {
             graph,
             mode,
             nodes,
-            arcs,
+            ctl: vec![ArcCtl::fresh(); arcs],
+            bank: FlowBank::new(arcs, FIELDS, dim),
             guard: None,
             dim,
             stats: PcfStats::default(),
+            pool: Vec::new(),
+            scratch: Mass::zero(dim),
         }
     }
 
@@ -347,24 +365,29 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
         self.graph.arc_base(i) + slot
     }
 
-    /// Flow `f_{i,j,slot}` (test/inspection hook; `slot` is 1 or 2).
-    pub fn flow(&self, i: NodeId, j: NodeId, slot: u8) -> &Mass<P> {
-        let s = &self.arcs[self.arc(i, j)];
-        match slot {
-            1 => &s.f[0],
-            2 => &s.f[1],
+    /// Flow `f_{i,j,slot}` (test/inspection hook; `slot` is 1 or 2;
+    /// materialises a `Mass` from the flow bank).
+    pub fn flow(&self, i: NodeId, j: NodeId, slot: u8) -> Mass<P> {
+        let idx = self.arc(i, j);
+        let field = match slot {
+            1 => F1,
+            2 => F2,
             _ => panic!("flow slot must be 1 or 2"),
-        }
+        };
+        Mass::new(
+            P::from_components(self.bank.slice(idx, field)),
+            self.ctl[idx].w[field],
+        )
     }
 
     /// The active-slot indicator `c_{i,j}`.
     pub fn active_slot(&self, i: NodeId, j: NodeId) -> u8 {
-        self.arcs[self.arc(i, j)].c
+        self.ctl[self.arc(i, j)].c
     }
 
     /// The role-swap counter `r_{i,j}`.
     pub fn swap_round(&self, i: NodeId, j: NodeId) -> u64 {
-        self.arcs[self.arc(i, j)].r
+        self.ctl[self.arc(i, j)].r
     }
 
     /// The sum-of-flows accumulator `ϕ_i` (diagnostic; its exact meaning
@@ -381,11 +404,42 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
         if self.mode == PhiMode::Hardened {
             let base = self.graph.arc_base(i);
             for slot in 0..self.graph.degree(i) {
-                e.sub_assign(&self.arcs[base + slot].f[0]);
-                e.sub_assign(&self.arcs[base + slot].f[1]);
+                let idx = base + slot;
+                bank::sub(e.value.components_mut(), self.bank.slice(idx, F1));
+                e.weight -= self.ctl[idx].w[F1];
+                bank::sub(e.value.components_mut(), self.bank.slice(idx, F2));
+                e.weight -= self.ctl[idx].w[F2];
             }
         }
         e
+    }
+
+    /// [`Self::estimate_mass`] into the reused scratch buffer (same
+    /// operation order, so results are bit-identical) — the hot-path
+    /// variant that never allocates, whatever the payload dimension.
+    fn fill_scratch_estimate(&mut self, i: NodeId) {
+        let PushCancelFlow {
+            graph,
+            mode,
+            nodes,
+            ctl,
+            bank,
+            scratch,
+            ..
+        } = self;
+        let node = &nodes[i as usize];
+        scratch.copy_from(&node.init);
+        scratch.sub_assign(&node.phi);
+        if *mode == PhiMode::Hardened {
+            let base = graph.arc_base(i);
+            for slot in 0..graph.degree(i) {
+                let idx = base + slot;
+                bank::sub(scratch.value.components_mut(), bank.slice(idx, F1));
+                scratch.weight -= ctl[idx].w[F1];
+                bank::sub(scratch.value.components_mut(), bank.slice(idx, F2));
+                scratch.weight -= ctl[idx].w[F2];
+            }
+        }
     }
 
     /// Replace node `i`'s local input value mid-run (live monitoring, cf.
@@ -401,10 +455,14 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
     /// structural claim is that this stays `O(|aggregate|)` for PCF while
     /// it grows without bound relative to the aggregate for PF.
     pub fn max_flow_magnitude(&self) -> f64 {
-        self.arcs
-            .iter()
-            .flat_map(|s| [&s.f[0], &s.f[1]])
-            .flat_map(|f| f.value.components().iter().copied())
+        (0..self.graph.arc_count())
+            .flat_map(|arc| {
+                self.bank
+                    .slice(arc, F1)
+                    .iter()
+                    .chain(self.bank.slice(arc, F2))
+                    .copied()
+            })
             .fold(0.0f64, |a, c| a.max(c.abs()))
     }
 
@@ -412,19 +470,37 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
     /// In eager mode ϕ already contains the flow (ϕ tracks the running
     /// sum), so zeroing the slot *is* the fold; in hardened mode the flow
     /// is moved into ϕ explicitly. Either way `e_i` is unchanged.
+    /// Componentwise the loops perform exactly the operations of the
+    /// former `Mass`-level code (`phi += f; base += f; f = 0`), fused per
+    /// component — bit-identical because components are independent.
     #[inline]
     fn fold_and_clear(
         mode: PhiMode,
         phi: &mut Mass<P>,
-        flow: &mut Mass<P>,
-        base: &mut Mass<P>,
+        s: &mut ArcCtl,
+        fbank: &mut FlowBank,
+        idx: usize,
+        field: usize,
         stats: &mut PcfStats,
     ) {
-        if mode == PhiMode::Hardened {
-            phi.add_assign(flow);
+        {
+            let (f, base) = fbank.src_dst(idx, field, BASE);
+            if mode == PhiMode::Hardened {
+                let pv = phi.value.components_mut();
+                for ((p, b), &x) in pv.iter_mut().zip(base.iter_mut()).zip(f) {
+                    *p += x;
+                    *b += x;
+                }
+            } else {
+                bank::add(base, f);
+            }
         }
-        base.add_assign(flow);
-        flow.clear();
+        if mode == PhiMode::Hardened {
+            phi.weight += s.w[field];
+        }
+        s.w[BASE] += s.w[field];
+        fbank.fill_zero(idx, field);
+        s.w[field] = 0.0;
         stats.cancellations += 1;
     }
 
@@ -433,17 +509,42 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
     /// number is left for the caller, which is what distinguishes an
     /// excision from a restart). Like any fold, the local estimate does
     /// not move: in eager mode ϕ keeps the flows' value, in hardened mode
-    /// they are moved into ϕ explicitly.
-    fn fold_arc(mode: PhiMode, phi: &mut Mass<P>, s: &mut ArcState<P>) {
-        let mut total = s.f[0].clone();
-        total.add_assign(&s.f[1]);
-        if mode == PhiMode::Hardened {
-            phi.add_assign(&total);
+    /// they are moved into ϕ explicitly. (Per component: `t = f1 + f2;
+    /// [phi += t;] base += t` — the fused form of the former `Mass`-level
+    /// total/add sequence, bit-identical by component independence.)
+    fn fold_arc(
+        mode: PhiMode,
+        phi: &mut Mass<P>,
+        s: &mut ArcCtl,
+        fbank: &mut FlowBank,
+        idx: usize,
+    ) {
+        {
+            let (f1, f2, base) = fbank.two_src_dst(idx, F1, F2, BASE);
+            if mode == PhiMode::Hardened {
+                let pv = phi.value.components_mut();
+                for (((p, b), &x), &y) in pv.iter_mut().zip(base.iter_mut()).zip(f1).zip(f2) {
+                    let t = x + y;
+                    *p += t;
+                    *b += t;
+                }
+            } else {
+                for ((b, &x), &y) in base.iter_mut().zip(f1).zip(f2) {
+                    *b += x + y;
+                }
+            }
         }
-        s.base.add_assign(&total);
-        s.f[0].clear();
-        s.f[1].clear();
-        s.folded.clear();
+        let tw = s.w[F1] + s.w[F2];
+        if mode == PhiMode::Hardened {
+            phi.weight += tw;
+        }
+        s.w[BASE] += tw;
+        fbank.fill_zero(idx, F1);
+        fbank.fill_zero(idx, F2);
+        fbank.fill_zero(idx, FOLDED);
+        s.w[F1] = 0.0;
+        s.w[F2] = 0.0;
+        s.w[FOLDED] = 0.0;
         s.c = 1;
         s.r = 1;
     }
@@ -455,38 +556,68 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
     fn on_send(&mut self, node: NodeId, target: NodeId) -> PcfMsg<P> {
         // Fig. 5 lines 30–33.
         let idx = self.arc(node, target);
-        let mut e = self.estimate_mass(node);
-        e.scale(0.5);
+        self.fill_scratch_estimate(node);
+        self.scratch.scale(0.5);
         let eager = self.mode == PhiMode::Eager;
-        let PushCancelFlow { nodes, arcs, .. } = self;
-        let s = &mut arcs[idx];
-        s.active(s.c).add_assign(&e);
+        let mut msg = self.pool.pop().unwrap_or_else(|| PcfMsg {
+            f1: Mass::zero(self.dim),
+            f2: Mass::zero(self.dim),
+            c: 0,
+            r: 0,
+            folded: Mass::zero(self.dim),
+            base: Mass::zero(self.dim),
+            inc: 0,
+        });
+        let PushCancelFlow {
+            nodes,
+            ctl,
+            bank,
+            scratch,
+            ..
+        } = self;
+        let e = &*scratch;
+        let s = &mut ctl[idx];
+        let act = act_idx(s.c);
+        bank::add(bank.slice_mut(idx, act), e.value.components());
+        s.w[act] += e.weight;
         if eager {
-            nodes[node as usize].phi.add_assign(&e);
+            nodes[node as usize].phi.add_assign(e);
         }
-        PcfMsg {
-            f1: s.f[0].clone(),
-            f2: s.f[1].clone(),
-            c: s.c,
-            r: s.r,
-            folded: s.folded.clone(),
-            base: s.base.clone(),
-            inc: s.inc,
-        }
+        // Every field of the recycled buffer is overwritten, so the wire
+        // bytes are identical to a freshly cloned message.
+        msg.f1.value.copy_from_components(bank.slice(idx, F1));
+        msg.f1.weight = s.w[F1];
+        msg.f2.value.copy_from_components(bank.slice(idx, F2));
+        msg.f2.weight = s.w[F2];
+        msg.folded
+            .value
+            .copy_from_components(bank.slice(idx, FOLDED));
+        msg.folded.weight = s.w[FOLDED];
+        msg.base.value.copy_from_components(bank.slice(idx, BASE));
+        msg.base.weight = s.w[BASE];
+        msg.c = s.c;
+        msg.r = s.r;
+        msg.inc = s.inc;
+        msg
+    }
+
+    fn reclaim(&mut self, msg: PcfMsg<P>) {
+        self.pool.push(msg);
     }
 
     fn prewarm(&self, node: NodeId, from: NodeId) {
-        // Touch the two cache lines `on_receive(node, from, _)` starts
-        // with; the arc index is recomputed there, but the neighbor scan
-        // is cheap next to the miss this hides.
+        // Touch the cache lines `on_receive(node, from, _)` starts with;
+        // the arc index is recomputed there, but the neighbor scan is
+        // cheap next to the miss this hides.
         #[cfg(target_arch = "x86_64")]
         if let Some(slot) = self.graph.neighbor_slot(node, from) {
             use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
             let idx = self.graph.arc_base(node) + slot;
             // SAFETY: prefetch has no memory effects; both pointers are
-            // in-bounds elements of live Vecs.
+            // in-bounds elements of live allocations.
             unsafe {
-                _mm_prefetch((&raw const self.arcs[idx]).cast::<i8>(), _MM_HINT_T0);
+                _mm_prefetch((&raw const self.ctl[idx]).cast::<i8>(), _MM_HINT_T0);
+                _mm_prefetch(self.bank.slice(idx, F1).as_ptr().cast::<i8>(), _MM_HINT_T0);
                 _mm_prefetch(
                     (&raw const self.nodes[node as usize]).cast::<i8>(),
                     _MM_HINT_T0,
@@ -521,13 +652,17 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         let (c_ji, r_ji) = (msg.c, msg.r);
         let mode = self.mode;
         // One borrow of each hot field for the whole handler — the arc
-        // state, this node's ϕ and the counters are disjoint, and binding
-        // them once keeps the indexing (and its bounds checks) out of the
-        // per-branch code below.
+        // control word, the bank row, this node's ϕ and the counters are
+        // disjoint, and binding them once keeps the indexing (and its
+        // bounds checks) out of the per-branch code below.
         let PushCancelFlow {
-            nodes, arcs, stats, ..
+            nodes,
+            ctl,
+            bank,
+            stats,
+            ..
         } = self;
-        let s = &mut arcs[idx];
+        let s = &mut ctl[idx];
         let phi = &mut nodes[i].phi;
 
         // Incarnation fencing, ahead of all flow interpretation: a lower
@@ -549,11 +684,17 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
             return;
         }
         if msg.inc > s.inc {
-            Self::fold_arc(mode, phi, s);
-            let mut delta = s.base.clone();
-            delta.add_assign(&msg.base);
-            phi.sub_assign(&delta);
-            s.base = msg.base.negated();
+            Self::fold_arc(mode, phi, s, bank, idx);
+            // ϕ ← ϕ − (base + msg.base), then base ← −msg.base (fused per
+            // component; identical operations to the former delta `Mass`).
+            bank::sub_sum(
+                phi.value.components_mut(),
+                bank.slice(idx, BASE),
+                msg.base.value.components(),
+            );
+            phi.weight -= s.w[BASE] + msg.base.weight;
+            bank::store_neg(bank.slice_mut(idx, BASE), msg.base.value.components());
+            s.w[BASE] = -msg.base.weight;
             s.inc = msg.inc;
             stats.recancellations += 1;
         }
@@ -571,41 +712,51 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         // ignore forever, deadlocking the edge while sends keep paying
         // mass into it.
         let msg_f = [&msg.f1, &msg.f2];
-        let msg_pas_by_msg = msg_f[((2 - c_ji) & 1) as usize];
+        let msg_pas_by_msg = msg_f[pas_idx(c_ji)];
         if s.r + 1 == r_ji && msg_pas_by_msg.is_zero() {
             {
-                let pas = ((2 - c_ji) & 1) as usize;
-                let f_pas = &mut s.f[pas];
-                if !f_pas.is_neg_of(&msg.folded) {
+                let pas = pas_idx(c_ji);
+                if !(s.w[pas] == -msg.folded.weight
+                    && bank::is_neg(bank.slice(idx, pas), msg.folded.value.components()))
+                {
                     // Our passive moved since the peer verified it (only
                     // possible under message delay): re-sync it with the
                     // same invariant-preserving overwrite as the
                     // active-flow rule, so the pairwise fold cancels
                     // exactly.
                     if mode == PhiMode::Eager {
-                        let mut delta = f_pas.clone();
-                        delta.add_assign(&msg.folded);
-                        phi.sub_assign(&delta);
+                        bank::sub_sum(
+                            phi.value.components_mut(),
+                            bank.slice(idx, pas),
+                            msg.folded.value.components(),
+                        );
+                        phi.weight -= s.w[pas] + msg.folded.weight;
                     }
-                    *f_pas = msg.folded.negated();
+                    bank::store_neg(bank.slice_mut(idx, pas), msg.folded.value.components());
+                    s.w[pas] = -msg.folded.weight;
                     stats.fold_resyncs += 1;
                 }
-                s.folded = f_pas.clone();
-                Self::fold_and_clear(mode, phi, &mut s.f[pas], &mut s.base, stats);
+                bank.copy_field(idx, pas, FOLDED);
+                s.w[FOLDED] = s.w[pas];
+                Self::fold_and_clear(mode, phi, s, bank, idx, pas, stats);
             }
             s.r += 1;
             s.c = 3 - c_ji;
             stats.swaps += 1;
             // The message's active slot still carries fresh flow state:
             // apply the plain-PF overwrite to it as well.
-            let msg_act = msg_f[((c_ji - 1) & 1) as usize];
-            let f_act = s.active(c_ji);
+            let msg_act = msg_f[act_idx(c_ji)];
+            let act = act_idx(c_ji);
             if mode == PhiMode::Eager {
-                let mut delta = f_act.clone();
-                delta.add_assign(msg_act);
-                phi.sub_assign(&delta);
+                bank::sub_sum(
+                    phi.value.components_mut(),
+                    bank.slice(idx, act),
+                    msg_act.value.components(),
+                );
+                phi.weight -= s.w[act] + msg_act.weight;
             }
-            *f_act = msg_act.negated();
+            bank::store_neg(bank.slice_mut(idx, act), msg_act.value.components());
+            s.w[act] = -msg_act.weight;
             return;
         }
 
@@ -620,19 +771,23 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
             return;
         }
         let c = s.c;
-        let msg_act = msg_f[((c - 1) & 1) as usize];
-        let msg_pas = msg_f[((2 - c) & 1) as usize];
+        let msg_act = msg_f[act_idx(c)];
+        let msg_pas = msg_f[pas_idx(c)];
 
         // Lines 11–12: plain PF on the active slot.
-        let f_act = s.active(c);
+        let act = act_idx(c);
         if mode == PhiMode::Eager {
             // ϕ_i ← ϕ_i − (f_{i,j,c} + f_{j,i,c})
-            let mut delta = f_act.clone();
-            delta.add_assign(msg_act);
-            phi.sub_assign(&delta);
+            bank::sub_sum(
+                phi.value.components_mut(),
+                bank.slice(idx, act),
+                msg_act.value.components(),
+            );
+            phi.weight -= s.w[act] + msg_act.weight;
         }
-        *f_act = msg_act.negated();
-        let pas = ((2 - c) & 1) as usize;
+        bank::store_neg(bank.slice_mut(idx, act), msg_act.value.components());
+        s.w[act] = -msg_act.weight;
+        let pas = pas_idx(c);
 
         // Lines 13–27: passive-slot handling, with *directed* cancellation:
         // only the lower-id endpoint of an edge may initiate a fold (case
@@ -646,21 +801,29 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         // folds of values that do not cancel, which demonstrably destroys
         // mass (see `ablation_execution_models`).
         let initiator = node < from;
-        if initiator && msg_pas.is_neg_of(&s.f[pas]) && s.r == r_ji {
+        if initiator
+            && msg_pas.weight == -s.w[pas]
+            && bank::is_neg(msg_pas.value.components(), bank.slice(idx, pas))
+            && s.r == r_ji
+        {
             // (i) conservation reached: cancel our passive flow.
-            s.folded = s.f[pas].clone();
-            Self::fold_and_clear(mode, phi, &mut s.f[pas], &mut s.base, stats);
+            bank.copy_field(idx, pas, FOLDED);
+            s.w[FOLDED] = s.w[pas];
+            Self::fold_and_clear(mode, phi, s, bank, idx, pas, stats);
             s.r += 1;
         } else if s.r <= r_ji {
             // (iii) passive pair not conserved (e.g. after a loss): treat
             // it like an active flow to restore conservation.
-            let f_pas = &mut s.f[pas];
             if mode == PhiMode::Eager {
-                let mut delta = f_pas.clone();
-                delta.add_assign(msg_pas);
-                phi.sub_assign(&delta);
+                bank::sub_sum(
+                    phi.value.components_mut(),
+                    bank.slice(idx, pas),
+                    msg_pas.value.components(),
+                );
+                phi.weight -= s.w[pas] + msg_pas.weight;
             }
-            *f_pas = msg_pas.negated();
+            bank::store_neg(bank.slice_mut(idx, pas), msg_pas.value.components());
+            s.w[pas] = -msg_pas.weight;
         }
         // else: we are ahead of the peer (r_{i,j} > r_{j,i}); wait for it.
     }
@@ -688,10 +851,14 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         // one side is strictly ahead and the other reconciles toward it.
         let idx = self.arc(node, neighbor);
         let PushCancelFlow {
-            nodes, arcs, mode, ..
+            nodes,
+            ctl,
+            bank,
+            mode,
+            ..
         } = self;
-        let s = &mut arcs[idx];
-        Self::fold_arc(*mode, &mut nodes[node as usize].phi, s);
+        let s = &mut ctl[idx];
+        Self::fold_arc(*mode, &mut nodes[node as usize].phi, s, bank, idx);
         s.inc += 1;
         if (s.inc & 1) != u64::from(node >= neighbor) {
             s.inc += 1;
@@ -709,7 +876,11 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         self.nodes[node as usize].phi.clear();
         let base = self.graph.arc_base(node);
         for slot in 0..self.graph.degree(node) {
-            self.arcs[base + slot] = ArcState::fresh(self.dim);
+            let idx = base + slot;
+            for field in 0..FIELDS {
+                self.bank.fill_zero(idx, field);
+            }
+            self.ctl[idx] = ArcCtl::fresh();
         }
     }
 
@@ -727,11 +898,16 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         // ends of the reborn edge restart it from zero together.
         let idx = self.arc(node, restarted);
         let PushCancelFlow {
-            nodes, arcs, mode, ..
+            nodes,
+            ctl,
+            bank,
+            mode,
+            ..
         } = self;
-        let s = &mut arcs[idx];
-        Self::fold_arc(*mode, &mut nodes[node as usize].phi, s);
-        s.base.clear();
+        let s = &mut ctl[idx];
+        Self::fold_arc(*mode, &mut nodes[node as usize].phi, s, bank, idx);
+        bank.fill_zero(idx, BASE);
+        s.w[BASE] = 0.0;
         s.inc = 1;
     }
 }
@@ -760,11 +936,13 @@ impl<'g, P: Payload> ReductionProtocol for PushCancelFlow<'g, P> {
         // exchange one slot is mid-handoff, but once the exchange
         // completes `f1 + f2` obeys pairwise antisymmetry just like PF's
         // single flow variable.
-        let s = &self.arcs[self.arc(i, j)];
-        let mut f = s.f[0].clone();
-        f.add_assign(&s.f[1]);
-        values.copy_from_slice(f.value.components());
-        Some(f.weight)
+        let idx = self.arc(i, j);
+        let (f1, f2) = (self.bank.slice(idx, F1), self.bank.slice(idx, F2));
+        for ((v, &x), &y) in values.iter_mut().zip(f1).zip(f2) {
+            *v = x + y;
+        }
+        let s = &self.ctl[idx];
+        Some(s.w[F1] + s.w[F2])
     }
 
     fn max_flow(&self) -> Option<f64> {

@@ -19,18 +19,27 @@
 //! `O(max|f|)` — effectively restarting the computation.
 
 use crate::aggregate::InitialData;
+use crate::bank::{self, FlowBank};
 use crate::payload::{Mass, Payload};
 use crate::protocol::ReductionProtocol;
 use gr_netsim::Protocol;
 use gr_topology::{Graph, NodeId};
 
 /// Push-flow protocol state (all nodes; flows arc-indexed).
+///
+/// Flow *values* live in a structure-of-arrays [`FlowBank`] (one
+/// contiguous, cache-line-aligned `f64` slab over all arcs); flow *weights*
+/// stay in a plain arc-indexed array. Both use the CSR
+/// `arc_base`/`neighbor_slot` indexing.
 pub struct PushFlow<'g, P: Payload> {
     graph: &'g Graph,
     /// Immutable initial data `v_i = (x_i, w_i)`.
     init: Vec<Mass<P>>,
-    /// `flows[arc_base(i) + slot]` = `f_{i, neighbors(i)[slot]}`.
-    flows: Vec<Mass<P>>,
+    /// Value components of `f_{i, neighbors(i)[slot]}` at arc
+    /// `arc_base(i) + slot` (single-field bank).
+    bank: FlowBank,
+    /// Weight of the flow at each arc.
+    flow_w: Vec<f64>,
     /// Optional plausibility bound on incoming flows (see
     /// [`PushFlow::with_guard`]).
     guard: Option<f64>,
@@ -38,7 +47,15 @@ pub struct PushFlow<'g, P: Payload> {
     /// [`PushFlow::with_compensated_estimates`]).
     compensated: bool,
     dim: usize,
+    /// Recycled wire buffers (fed by [`Protocol::reclaim`]).
+    pool: Vec<Mass<P>>,
+    /// Reused estimate buffer for `on_send` — keeps heap-spilled payloads
+    /// (dim above the inline cap) allocation-free on the hot path.
+    scratch: Mass<P>,
 }
+
+/// The bank's single field: the flow value vector.
+const FLOW: usize = 0;
 
 impl<'g, P: Payload> PushFlow<'g, P> {
     /// Initialise over `graph` with the given data.
@@ -48,14 +65,17 @@ impl<'g, P: Payload> PushFlow<'g, P> {
         let init_mass: Vec<Mass<P>> = (0..init.len())
             .map(|i| Mass::new(init.value(i).clone(), init.weight(i)))
             .collect();
-        let flows = vec![Mass::zero(dim); graph.arc_count()];
+        let arcs = graph.arc_count();
         PushFlow {
             graph,
             init: init_mass,
-            flows,
+            bank: FlowBank::new(arcs, 1, dim),
+            flow_w: vec![0.0; arcs],
             guard: None,
             compensated: false,
             dim,
+            pool: Vec::new(),
+            scratch: Mass::zero(dim),
         }
     }
 
@@ -115,9 +135,14 @@ impl<'g, P: Payload> PushFlow<'g, P> {
         self.graph.arc_base(i) + slot
     }
 
-    /// The flow variable `f_{i,j}` (test/inspection hook).
-    pub fn flow(&self, i: NodeId, j: NodeId) -> &Mass<P> {
-        &self.flows[self.arc(i, j)]
+    /// The flow variable `f_{i,j}` (test/inspection hook; materialises a
+    /// `Mass` from the flow bank).
+    pub fn flow(&self, i: NodeId, j: NodeId) -> Mass<P> {
+        let idx = self.arc(i, j);
+        Mass::new(
+            P::from_components(self.bank.slice(idx, FLOW)),
+            self.flow_w[idx],
+        )
     }
 
     /// Live data `e_i = v_i − Σ_j f_{i,j}`. By default in plain f64
@@ -132,7 +157,8 @@ impl<'g, P: Payload> PushFlow<'g, P> {
         if !self.compensated {
             let mut e = self.init[i as usize].clone();
             for slot in 0..deg {
-                e.sub_assign(&self.flows[base + slot]);
+                bank::sub(e.value.components_mut(), self.bank.slice(base + slot, FLOW));
+                e.weight -= self.flow_w[base + slot];
             }
             return e;
         }
@@ -144,14 +170,14 @@ impl<'g, P: Payload> PushFlow<'g, P> {
             let mut acc = gr_numerics::CompensatedSum::new();
             acc.add(v0);
             for slot in 0..deg {
-                acc.add(-self.flows[base + slot].value.components()[k]);
+                acc.add(-self.bank.slice(base + slot, FLOW)[k]);
             }
             out_vals[k] = acc.value();
         }
         let mut wacc = gr_numerics::CompensatedSum::new();
         wacc.add(init.weight);
         for slot in 0..deg {
-            wacc.add(-self.flows[base + slot].weight);
+            wacc.add(-self.flow_w[base + slot]);
         }
         Mass::new(P::from_components(&out_vals), wacc.value())
     }
@@ -170,10 +196,40 @@ impl<'g, P: Payload> PushFlow<'g, P> {
     /// Largest flow magnitude in the system (diagnostic: PF's accuracy
     /// problem is `max|f| ≫ |aggregate|`).
     pub fn max_flow_magnitude(&self) -> f64 {
-        self.flows
-            .iter()
-            .flat_map(|f| f.value.components().iter().copied())
+        (0..self.graph.arc_count())
+            .flat_map(|arc| self.bank.slice(arc, FLOW).iter().copied())
             .fold(0.0f64, |a, c| a.max(c.abs()))
+    }
+}
+
+impl<'g, P: Payload> PushFlow<'g, P> {
+    /// [`Self::estimate_mass`] into the reused scratch buffer (same
+    /// operation order, so results are bit-identical) — the hot-path
+    /// variant that never allocates, whatever the payload dimension.
+    /// The opt-in compensated mode still materialises a fresh estimate
+    /// (its Neumaier accumulators are not part of the hot-path claim).
+    fn fill_scratch_estimate(&mut self, i: NodeId) {
+        if self.compensated {
+            self.scratch = self.estimate_mass(i);
+            return;
+        }
+        let PushFlow {
+            graph,
+            init,
+            bank,
+            flow_w,
+            scratch,
+            ..
+        } = self;
+        let base = graph.arc_base(i);
+        scratch.copy_from(&init[i as usize]);
+        for slot in 0..graph.degree(i) {
+            bank::sub(
+                scratch.value.components_mut(),
+                bank.slice(base + slot, FLOW),
+            );
+            scratch.weight -= flow_w[base + slot];
+        }
     }
 }
 
@@ -182,11 +238,20 @@ impl<'g, P: Payload> Protocol for PushFlow<'g, P> {
 
     fn on_send(&mut self, node: NodeId, target: NodeId) -> Mass<P> {
         // Fig. 1 lines 8–11: e_i = v_i − Σf; f_{i,k} += e_i/2; send f_{i,k}.
-        let mut e = self.estimate_mass(node);
-        e.scale(0.5);
+        self.fill_scratch_estimate(node);
+        self.scratch.scale(0.5);
         let idx = self.arc(node, target);
-        self.flows[idx].add_assign(&e);
-        self.flows[idx].clone()
+        bank::add(
+            self.bank.slice_mut(idx, FLOW),
+            self.scratch.value.components(),
+        );
+        self.flow_w[idx] += self.scratch.weight;
+        // Refill a recycled wire buffer (every field overwritten) instead
+        // of cloning the flow into a fresh allocation.
+        let mut msg = self.pool.pop().unwrap_or_else(|| Mass::zero(self.dim));
+        msg.value.copy_from_components(self.bank.slice(idx, FLOW));
+        msg.weight = self.flow_w[idx];
+        msg
     }
 
     fn on_receive(&mut self, node: NodeId, from: NodeId, msg: &mut Mass<P>) {
@@ -195,10 +260,15 @@ impl<'g, P: Payload> Protocol for PushFlow<'g, P> {
         }
         // Fig. 1 line 6: f_{i,j} ← −f_{j,i}. Overwrite semantics: whatever
         // our mirror held (possibly corrupted) is discarded — this is the
-        // self-healing step.
+        // self-healing step. The wire buffer itself goes back to the pool
+        // through `reclaim`.
         let idx = self.arc(node, from);
-        msg.negate();
-        std::mem::swap(&mut self.flows[idx], msg);
+        bank::store_neg(self.bank.slice_mut(idx, FLOW), msg.value.components());
+        self.flow_w[idx] = -msg.weight;
+    }
+
+    fn reclaim(&mut self, msg: Mass<P>) {
+        self.pool.push(msg);
     }
 
     fn on_link_failed(&mut self, node: NodeId, neighbor: NodeId) {
@@ -206,7 +276,8 @@ impl<'g, P: Payload> Protocol for PushFlow<'g, P> {
         // excluding the dead link (paper Sec. II-C). This is exactly the
         // step whose impact PCF bounds.
         let idx = self.arc(node, neighbor);
-        self.flows[idx].clear();
+        self.bank.fill_zero(idx, FLOW);
+        self.flow_w[idx] = 0.0;
     }
 
     fn on_restart(&mut self, node: NodeId) {
@@ -217,8 +288,9 @@ impl<'g, P: Payload> Protocol for PushFlow<'g, P> {
         // pair conserved — at the usual PF price of an O(max|f|) estimate
         // perturbation on both sides.
         let base = self.graph.arc_base(node);
-        for f in &mut self.flows[base..base + self.graph.degree(node)] {
-            f.clear();
+        for slot in 0..self.graph.degree(node) {
+            self.bank.fill_zero(base + slot, FLOW);
+            self.flow_w[base + slot] = 0.0;
         }
     }
 }
@@ -243,9 +315,9 @@ impl<'g, P: Payload> ReductionProtocol for PushFlow<'g, P> {
     }
 
     fn write_flow(&self, i: NodeId, j: NodeId, values: &mut [f64]) -> Option<f64> {
-        let f = self.flow(i, j);
-        values.copy_from_slice(f.value.components());
-        Some(f.weight)
+        let idx = self.arc(i, j);
+        values.copy_from_slice(self.bank.slice(idx, FLOW));
+        Some(self.flow_w[idx])
     }
 
     fn max_flow(&self) -> Option<f64> {
@@ -337,7 +409,7 @@ mod tests {
             exchange(&mut pf, i, k);
             for (a, b) in g.edges() {
                 assert!(
-                    pf.flow(a, b).is_neg_of(pf.flow(b, a)),
+                    pf.flow(a, b).is_neg_of(&pf.flow(b, a)),
                     "edge ({a},{b}) unconserved after exchange {i}->{k}"
                 );
             }
@@ -432,7 +504,8 @@ mod tests {
         {
             let pf = sim.protocol_mut();
             let idx = pf.arc(0, 1);
-            pf.flows[idx].value = -pf.flows[idx].value; // sign flip
+            let f = &mut pf.bank.slice_mut(idx, FLOW)[0];
+            *f = -*f; // sign flip
         }
         sim.run(500);
         let err = max_relative_error(sim.protocol().scalar_estimates(), reference);
@@ -455,7 +528,7 @@ mod tests {
         {
             let pf = sim.protocol_mut();
             let idx = pf.arc(0, 1);
-            pf.flows[idx].value = 1e30;
+            pf.bank.slice_mut(idx, FLOW)[0] = 1e30;
         }
         sim.run(2000);
         let err = max_relative_error(sim.protocol().scalar_estimates(), reference);

@@ -33,6 +33,8 @@ pub struct PushPullSum<P: Payload> {
     /// Retained initial data for node restarts (cf. [`crate::PushSum`]).
     init: Vec<Mass<P>>,
     dim: usize,
+    /// Recycled wire buffers (fed by [`Protocol::reclaim`]).
+    pool: Vec<Mass<P>>,
 }
 
 impl<P: Payload> PushPullSum<P> {
@@ -46,6 +48,7 @@ impl<P: Payload> PushPullSum<P> {
             init: mass.clone(),
             mass,
             dim: init.dim(),
+            pool: Vec::new(),
         }
     }
 
@@ -68,9 +71,18 @@ impl<P: Payload> Protocol for PushPullSum<P> {
     type Msg = Mass<P>;
 
     fn on_send(&mut self, node: NodeId, _target: NodeId) -> Mass<P> {
+        // Recycled buffers are fully overwritten, so the wire bytes are
+        // identical to a freshly cloned message.
+        let out = self.pool.pop();
         let m = &mut self.mass[node as usize];
         m.scale(0.5);
-        m.clone()
+        match out {
+            Some(mut buf) => {
+                buf.copy_from(m);
+                buf
+            }
+            None => m.clone(),
+        }
     }
 
     fn on_receive(&mut self, node: NodeId, _from: NodeId, msg: &mut Mass<P>) {
@@ -79,9 +91,20 @@ impl<P: Payload> Protocol for PushPullSum<P> {
 
     fn reply(&mut self, node: NodeId, _from: NodeId) -> Option<Mass<P>> {
         // The pull half: answer with half of our own (post-merge) mass.
+        let out = self.pool.pop();
         let m = &mut self.mass[node as usize];
         m.scale(0.5);
-        Some(m.clone())
+        Some(match out {
+            Some(mut buf) => {
+                buf.copy_from(m);
+                buf
+            }
+            None => m.clone(),
+        })
+    }
+
+    fn reclaim(&mut self, msg: Mass<P>) {
+        self.pool.push(msg);
     }
 
     fn on_restart(&mut self, node: NodeId) {

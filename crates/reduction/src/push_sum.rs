@@ -23,6 +23,8 @@ pub struct PushSum<P: Payload> {
     /// [`Protocol::on_restart`]).
     init: Vec<Mass<P>>,
     dim: usize,
+    /// Recycled wire buffers (fed by [`Protocol::reclaim`]).
+    pool: Vec<Mass<P>>,
 }
 
 impl<P: Payload> PushSum<P> {
@@ -38,6 +40,7 @@ impl<P: Payload> PushSum<P> {
             init: mass.clone(),
             mass,
             dim: init.dim(),
+            pool: Vec::new(),
         }
     }
 
@@ -61,13 +64,26 @@ impl<P: Payload> Protocol for PushSum<P> {
     type Msg = Mass<P>;
 
     fn on_send(&mut self, node: NodeId, _target: NodeId) -> Mass<P> {
+        // Recycled buffers are fully overwritten, so the wire bytes are
+        // identical to a freshly cloned message.
+        let out = self.pool.pop();
         let m = &mut self.mass[node as usize];
         m.scale(0.5);
-        m.clone()
+        match out {
+            Some(mut buf) => {
+                buf.copy_from(m);
+                buf
+            }
+            None => m.clone(),
+        }
     }
 
     fn on_receive(&mut self, node: NodeId, _from: NodeId, msg: &mut Mass<P>) {
         self.mass[node as usize].add_assign(msg);
+    }
+
+    fn reclaim(&mut self, msg: Mass<P>) {
+        self.pool.push(msg);
     }
 
     // No `on_link_failed` override: push-sum has no failure handling.
