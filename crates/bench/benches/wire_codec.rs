@@ -1,0 +1,76 @@
+//! Wire-codec throughput — the transport layer's per-message overhead.
+//!
+//! Every message a real backend ships crosses the `gr-reduction::wire`
+//! codec twice (encode at the sender, decode at the receiver), so its
+//! throughput bounds the message rate any backend can sustain. Measures
+//! frame encode and decode for the PCF message — the largest frame of the
+//! protocol family — at scalar and 16-component vector payloads, plus the
+//! encode/decode round trip the in-memory backend performs per delivery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gr_reduction::{InlineVec, Mass, Payload, PcfMsg, WireMsg};
+
+fn pcf_msg<P: Payload>(dim: usize) -> PcfMsg<P> {
+    let v = |k: f64| -> P {
+        P::from_components(&(0..dim).map(|i| k * (i as f64 + 1.0)).collect::<Vec<_>>())
+    };
+    PcfMsg {
+        f1: Mass::new(v(1.5), 0.25),
+        f2: Mass::new(v(-2.0), 0.5),
+        c: 2,
+        r: 7,
+        folded: Mass::new(v(0.0), 0.0),
+        base: Mass::new(v(3.0), 1.0),
+        inc: 1,
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+
+    let scalar = pcf_msg::<f64>(1);
+    let vector = pcf_msg::<InlineVec>(16);
+    let mut frame_s = Vec::new();
+    scalar.encode_frame(&mut frame_s);
+    let mut frame_v = Vec::new();
+    vector.encode_frame(&mut frame_v);
+
+    group.throughput(Throughput::Bytes(frame_s.len() as u64));
+    group.bench_function(BenchmarkId::new("encode", "pcf-scalar"), |b| {
+        let mut buf = Vec::with_capacity(frame_s.len());
+        b.iter(|| {
+            buf.clear();
+            scalar.encode_frame(&mut buf);
+            buf.len()
+        });
+    });
+    group.bench_function(BenchmarkId::new("decode", "pcf-scalar"), |b| {
+        b.iter(|| PcfMsg::<f64>::decode_frame(&frame_s).unwrap());
+    });
+    group.bench_function(BenchmarkId::new("roundtrip", "pcf-scalar"), |b| {
+        let mut buf = Vec::with_capacity(frame_s.len());
+        b.iter(|| {
+            buf.clear();
+            scalar.encode_frame(&mut buf);
+            PcfMsg::<f64>::decode_frame(&buf).unwrap()
+        });
+    });
+
+    group.throughput(Throughput::Bytes(frame_v.len() as u64));
+    group.bench_function(BenchmarkId::new("encode", "pcf-vec16"), |b| {
+        let mut buf = Vec::with_capacity(frame_v.len());
+        b.iter(|| {
+            buf.clear();
+            vector.encode_frame(&mut buf);
+            buf.len()
+        });
+    });
+    group.bench_function(BenchmarkId::new("decode", "pcf-vec16"), |b| {
+        b.iter(|| PcfMsg::<InlineVec>::decode_frame(&frame_v).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

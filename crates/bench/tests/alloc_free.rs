@@ -8,24 +8,36 @@
 //! exactly zero: one stray `Vec` in the per-message path would show up
 //! here as thousands of allocations.
 //!
-//! The file holds exactly one `#[test]` so no concurrent harness thread
-//! can pollute the counter.
+//! Arming is thread-local: libtest's main thread waits out the test on an
+//! mpmc event channel whose waker registration allocates lazily, and on a
+//! loaded single-core host that re-park can be preempted into the counting
+//! window. Only the measuring thread's allocations may count.
 
 use gr_netsim::{FaultPlan, Simulator};
 use gr_reduction::{AggregateKind, InitialData, PushCancelFlow};
 use gr_topology::hypercube;
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Forwards to [`System`], counting `alloc`/`realloc` calls while armed.
+/// Forwards to [`System`], counting `alloc`/`realloc` calls made by the
+/// thread that armed it.
 struct CountingAlloc;
 
-static COUNTING: AtomicBool = AtomicBool::new(false);
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether the current thread armed the counter. `try_with` (not `with`)
+/// so allocations during TLS teardown never panic inside the allocator.
+fn armed() -> bool {
+    ARMED.try_with(Cell::get).unwrap_or(false)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if armed() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.alloc(layout) }
@@ -36,7 +48,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if armed() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -57,9 +69,9 @@ fn steady_state_rounds_do_not_allocate() {
     sim.run(64);
 
     ALLOCS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
+    ARMED.with(|a| a.set(true));
     sim.run(1000);
-    COUNTING.store(false, Ordering::SeqCst);
+    ARMED.with(|a| a.set(false));
 
     let n = ALLOCS.load(Ordering::SeqCst);
     assert_eq!(n, 0, "steady-state hot loop performed {n} heap allocations");

@@ -8,24 +8,36 @@
 //! `Protocol::reclaim`, 1000 post-warmup rounds must perform exactly zero
 //! heap allocations.
 //!
-//! The file holds exactly one `#[test]` so no concurrent harness thread
-//! can pollute the counter.
+//! Arming is thread-local (see `alloc_free.rs`): libtest's main thread can
+//! be preempted into the counting window on a loaded single-core host, and
+//! its mpmc event-channel waker allocates lazily. Only the measuring
+//! thread's allocations may count.
 
 use gr_bench::vector_fixture;
 use gr_netsim::{FaultPlan, Simulator};
 use gr_reduction::{PushCancelFlow, INLINE_CAP};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Forwards to [`System`], counting `alloc`/`realloc` calls while armed.
+/// Forwards to [`System`], counting `alloc`/`realloc` calls made by the
+/// thread that armed it.
 struct CountingAlloc;
 
-static COUNTING: AtomicBool = AtomicBool::new(false);
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether the current thread armed the counter. `try_with` (not `with`)
+/// so allocations during TLS teardown never panic inside the allocator.
+fn armed() -> bool {
+    ARMED.try_with(Cell::get).unwrap_or(false)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if armed() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.alloc(layout) }
@@ -36,7 +48,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if armed() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -60,9 +72,9 @@ fn steady_state_vector_rounds_do_not_allocate() {
     sim.run(64);
 
     ALLOCS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
+    ARMED.with(|a| a.set(true));
     sim.run(1000);
-    COUNTING.store(false, Ordering::SeqCst);
+    ARMED.with(|a| a.set(false));
 
     let n = ALLOCS.load(Ordering::SeqCst);
     assert_eq!(

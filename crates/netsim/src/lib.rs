@@ -34,6 +34,7 @@
 //! 5. surviving messages are delivered in send order
 //!    ([`Protocol::on_receive`]).
 
+mod delivery;
 mod faults;
 mod options;
 mod rng;
@@ -41,6 +42,7 @@ mod schedule;
 mod sim;
 mod trace;
 
+pub use delivery::{Delivery, RingDelivery};
 pub use faults::{Corrupt, FaultPlan, LinkFailure, LinkHeal, NodeCrash, NodeRestart};
 pub use options::{Activation, DelayModel, DetectorModel, SimConfigError, SimOptions};
 pub use rng::{stream_rng, RngStream};

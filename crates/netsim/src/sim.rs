@@ -1,5 +1,6 @@
 //! The round-driven simulator core.
 
+use crate::delivery::RingDelivery;
 use crate::faults::{Corrupt, FaultPlan, LinkFailure, LinkHeal, NodeCrash, NodeRestart};
 use crate::options::{Activation, DelayModel, DetectorModel, SimConfigError, SimOptions};
 use crate::rng::{stream_rng, RngStream};
@@ -224,10 +225,12 @@ pub struct Simulator<'g, P: Protocol> {
     /// Per-arc suspicion bits, indexed like `dead_arcs` (timeout mode
     /// only). `i` suspects `j` ⇔ bit `arc_base(i) + slot(i, j)` set.
     suspected_arcs: Vec<u64>,
-    /// Delivery ring buffer: `buckets[r % len]` holds the messages due in
-    /// round `r`, in send order. With the default zero-delay model this
-    /// is a single reused buffer.
-    buckets: Vec<Vec<(NodeId, NodeId, P::Msg)>>,
+    /// The delivery substrate (see [`RingDelivery`]): `buckets[r % len]`
+    /// holds the messages due in round `r`, in send order. With the
+    /// default zero-delay model this is a single reused buffer. Extracted
+    /// behind the [`Delivery`](crate::Delivery) seam so the same protocol
+    /// state machines run over the real transports in `gr-transport`.
+    ring: RingDelivery<P::Msg>,
     /// Liveness-probe ring (timeout mode only), same slot discipline as
     /// `buckets`: `probe_ring[r % len]` holds the `(prober, target)`
     /// probes due at the start of round `r`. Probes exist because
@@ -307,9 +310,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             .flat_map(|i| graph.neighbors(i).iter().copied())
             .collect();
         let believed_len = (0..n as NodeId).map(|i| graph.degree(i) as u32).collect();
-        let buckets = (0..options.delay.max_delay() + 1)
-            .map(|_| Vec::new())
-            .collect();
+        let ring = RingDelivery::new(options.delay.max_delay());
         let (link_queue, crash_queue, heal_queue, restart_queue) = sorted_queues(&plan);
         let (detector_timeout, detector_window) = match options.detector {
             DetectorModel::Oracle => (false, 0),
@@ -351,7 +352,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             } else {
                 Vec::new()
             },
-            buckets,
+            ring,
             probe_ring: if detector_timeout {
                 (0..options.delay.max_delay() + 1)
                     .map(|_| Vec::new())
@@ -661,9 +662,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         // dead) must not surface after the reboot: the restarted node's
         // edge state is fresh, and a stale in-flight payload would be
         // processed as if it belonged to the new incarnation.
-        for bucket in &mut self.buckets {
-            bucket.retain(|&(src, dst, _)| src != node && dst != node);
-        }
+        self.ring
+            .retain(|&(src, dst, _)| src != node && dst != node);
         // In-flight probes from the old incarnation are stale proof of
         // life; probes addressed to the dead node would have been dropped
         // anyway.
@@ -969,7 +969,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
 
     fn step_synchronous(&mut self) {
         // Phase 3: sends, enqueued for delivery `delay` rounds from now.
-        let nbuckets = self.buckets.len() as u64;
+        let nbuckets = self.ring.slots() as u64;
         for i in 0..self.graph.len() as NodeId {
             if !self.alive_node[i as usize] {
                 continue;
@@ -991,7 +991,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             } else {
                 ((self.round + d) % nbuckets) as usize
             };
-            self.buckets[slot].push((i, target, msg));
+            self.ring.ship_at(slot, i, target, msg);
         }
 
         // Phase 4+5: transit faults, then in-order delivery of everything
@@ -1007,7 +1007,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         let clean = !self.physical_faults
             && self.plan.msg_loss_prob <= 0.0
             && self.plan.bit_flip_prob <= 0.0;
-        let mut batch = std::mem::take(&mut self.buckets[slot]);
+        let mut batch = self.ring.take_slot(slot);
         // Receivers are in random order while the batch is walked
         // sequentially: warm the state a few deliveries ahead so the
         // handler's first loads come out of cache.
@@ -1034,7 +1034,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         for (_, _, msg) in batch.drain(..) {
             self.protocol.reclaim(msg);
         }
-        self.buckets[slot] = batch;
+        self.ring.put_back(slot, batch);
     }
 
     fn step_asynchronous(&mut self) {

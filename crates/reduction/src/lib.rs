@@ -44,6 +44,7 @@
 pub mod aggregate;
 pub(crate) mod bank;
 pub mod convergence;
+pub mod drive;
 pub mod extremum;
 pub mod flow_updating;
 pub mod payload;
@@ -53,9 +54,11 @@ pub mod push_flow;
 pub mod push_pull_sum;
 pub mod push_sum;
 pub mod runner;
+pub mod wire;
 
 pub use aggregate::{AggregateKind, InitialData};
 pub use convergence::LocalConvergence;
+pub use drive::{DriverStats, NodeDriver};
 pub use extremum::{Extremum, ExtremumGossip};
 pub use flow_updating::FlowUpdating;
 pub use payload::{InlineVec, Mass, Payload, INLINE_CAP};
@@ -68,3 +71,4 @@ pub use runner::{
     mass_reference, measure_error, run_reduction, run_with_options, run_with_protocol,
     run_with_schedule, Algorithm, ErrorSample, Measurer, RunConfig, RunResult,
 };
+pub use wire::{WireError, WireMsg, FRAME_HEADER, WIRE_VERSION};

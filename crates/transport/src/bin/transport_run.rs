@@ -1,0 +1,177 @@
+//! `transport-run`: execute a PCF average over a real transport backend.
+//!
+//! ```text
+//! transport-run [--backend mem|udp] [--hc 6] [--dim 1] [--seed 42]
+//!               [--target 1e-9] [--max-rounds 10000] [--capacity 4096]
+//!               [--wall-limit-ms 30000] [--json]
+//! ```
+//!
+//! Builds a `2^hc`-node hypercube, gives node `i` the initial value `i`
+//! (replicated across `dim` components for vector payloads), runs
+//! Push-Cancel-Flow to the target relative accuracy over the chosen
+//! backend, and reports wall-clock convergence time, per-node rounds and
+//! bytes-on-wire. `--json` emits the machine-readable report used for the
+//! committed `TRANSPORT_BASELINE.json` example artifact.
+
+use gr_experiments::Opts;
+use gr_reduction::{AggregateKind, InitialData, Payload, PcfMsg, PushCancelFlow, WireMsg};
+use gr_topology::{hypercube, Graph};
+use gr_transport::{
+    mem_cluster, run_cluster, udp_cluster, validate_datagram, ClusterOptions, ClusterResult,
+    TransportError,
+};
+use std::time::Duration;
+
+#[derive(serde::Serialize)]
+struct Report {
+    backend: String,
+    nodes: usize,
+    dim: usize,
+    seed: u64,
+    target: f64,
+    frame_bytes: usize,
+    converged: bool,
+    wall_ms: f64,
+    rounds_min: u64,
+    rounds_mean: f64,
+    rounds_max: u64,
+    bytes_sent_total: u64,
+    bytes_sent_per_node_mean: f64,
+    dropped_total: u64,
+    max_rel_error: f64,
+    mass_weight: f64,
+}
+
+fn run_payload<P: Payload + Sync>(
+    backend: &str,
+    graph: &Graph,
+    dim: usize,
+    opts: &ClusterOptions,
+    capacity: usize,
+) -> Result<(ClusterResult, usize), TransportError> {
+    let n = graph.len();
+    let values: Vec<P> = (0..n)
+        .map(|i| P::from_components(&vec![i as f64; dim]))
+        .collect();
+    let reference = vec![(n - 1) as f64 / 2.0; dim];
+    let data = InitialData::with_kind(values, AggregateKind::Average);
+    // A zero PCF message of this dimension has the steady-state frame
+    // size (PCF frames are dimension-determined, not value-determined).
+    let sample: PcfMsg<P> = PcfMsg {
+        f1: gr_reduction::Mass::zero(dim),
+        f2: gr_reduction::Mass::zero(dim),
+        c: 1,
+        r: 0,
+        folded: gr_reduction::Mass::zero(dim),
+        base: gr_reduction::Mass::zero(dim),
+        inc: 0,
+    };
+    let frame_bytes = {
+        let mut buf = Vec::new();
+        sample.encode_frame(&mut buf);
+        buf.len()
+    };
+    let make = |node| {
+        let _ = node;
+        PushCancelFlow::new(graph, &data)
+    };
+    let result = match backend {
+        "mem" => run_cluster(graph, mem_cluster(n, capacity)?, make, &reference, opts)?,
+        "udp" => {
+            validate_datagram(&sample)?;
+            run_cluster(graph, udp_cluster(n)?, make, &reference, opts)?
+        }
+        other => {
+            eprintln!("unknown --backend {other:?} (expected mem or udp)");
+            std::process::exit(2);
+        }
+    };
+    Ok((result, frame_bytes))
+}
+
+fn main() {
+    let o = Opts::from_env();
+    let backend = o.string("backend", "mem");
+    let hc = o.u64("hc", 6) as u32;
+    let dim = o.u64("dim", 1) as usize;
+    let seed = o.u64("seed", 42);
+    let target = o.f64("target", 1e-9);
+    let max_rounds = o.u64("max-rounds", 10_000);
+    let capacity = o.u64("capacity", 4096) as usize;
+    let wall_limit_ms = o.u64("wall-limit-ms", 30_000);
+    let json = o.bool("json", false);
+    o.finish();
+
+    let graph = hypercube(hc);
+    let n = graph.len();
+    let opts = ClusterOptions {
+        seed,
+        target,
+        max_rounds,
+        wall_limit: Duration::from_millis(wall_limit_ms),
+    };
+    let outcome = if dim == 1 {
+        run_payload::<f64>(&backend, &graph, dim, &opts, capacity)
+    } else {
+        run_payload::<gr_reduction::InlineVec>(&backend, &graph, dim, &opts, capacity)
+    };
+    let (result, frame_bytes) = match outcome {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("transport-run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let report = Report {
+        backend: backend.clone(),
+        nodes: n,
+        dim,
+        seed,
+        target,
+        frame_bytes,
+        converged: result.converged,
+        wall_ms: result.wall_ms,
+        rounds_min: result.rounds_min,
+        rounds_mean: result.rounds_mean,
+        rounds_max: result.rounds_max,
+        bytes_sent_total: result.bytes_sent_total,
+        bytes_sent_per_node_mean: result.bytes_sent_total as f64 / n as f64,
+        dropped_total: result.dropped_total,
+        max_rel_error: result.max_rel_error,
+        mass_weight: result.mass_weight,
+    };
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::to_value(&report).unwrap()).unwrap()
+        );
+    } else {
+        println!(
+            "transport-run: backend={} nodes={} dim={} seed={} frame={}B",
+            report.backend, report.nodes, report.dim, report.seed, report.frame_bytes
+        );
+        println!(
+            "{} in {:.2} ms wall (max rel error {:.3e}, target {:.0e})",
+            if report.converged {
+                "converged"
+            } else {
+                "did NOT converge"
+            },
+            report.wall_ms,
+            report.max_rel_error,
+            report.target
+        );
+        println!(
+            "rounds per node: min {} / mean {:.1} / max {}",
+            report.rounds_min, report.rounds_mean, report.rounds_max
+        );
+        println!(
+            "bytes-on-wire: {} total, {:.0} per node mean, {} sends dropped",
+            report.bytes_sent_total, report.bytes_sent_per_node_mean, report.dropped_total
+        );
+    }
+    if !report.converged {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Threaded cluster orchestration: one OS thread per node, each running a
+//! [`NodeDriver`] against its own transport endpoint.
+//!
+//! The execution structure mirrors a real deployment: nodes step
+//! independently (no global round barrier), a monitor watches published
+//! per-node error levels and raises a stop flag at convergence, and a
+//! settle phase drains in-flight messages before state is collected —
+//! which is what makes the post-run mass-conservation check meaningful
+//! (flow antisymmetry across node instances only holds once every sent
+//! message was either delivered or counted as dropped).
+//!
+//! Everything protocol-side is the unmodified simulator code: the same
+//! `Protocol` impl the deterministic twin runs, built per node and driven
+//! only for that node's id.
+
+use crate::error::TransportError;
+use crate::mem::MemDelivery;
+use crate::udp::UdpDelivery;
+use crate::WireStats;
+use gr_netsim::Delivery;
+use gr_reduction::{DriverStats, NodeDriver, ReductionProtocol};
+use gr_topology::{Graph, NodeId};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Knobs for a threaded cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterOptions {
+    /// Master seed for the per-node partner-pick RNGs.
+    pub seed: u64,
+    /// Convergence target: stop once every node's relative error against
+    /// the reference aggregate is below this.
+    pub target: f64,
+    /// Per-node iteration budget (a node that reaches it stops stepping
+    /// and waits in the settle phase).
+    pub max_rounds: u64,
+    /// Hard wall-clock ceiling for the stepping phase.
+    pub wall_limit: Duration,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            seed: 42,
+            target: 1e-9,
+            max_rounds: 10_000,
+            wall_limit: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Per-node outcome of a cluster run.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct NodeReport {
+    /// Node id.
+    pub node: NodeId,
+    /// Iterations this node executed.
+    pub rounds: u64,
+    /// Messages this node pushed into the transport.
+    pub sent: u64,
+    /// Messages this node received and processed.
+    pub delivered: u64,
+    /// Bytes this node put on the wire.
+    pub bytes_sent: u64,
+    /// Bytes this node took off the wire.
+    pub bytes_recv: u64,
+    /// Sends lost to backpressure.
+    pub dropped: u64,
+    /// Final estimate, componentwise.
+    pub estimate: Vec<f64>,
+}
+
+/// Aggregate outcome of a cluster run.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ClusterResult {
+    /// Whether every node reached the target accuracy.
+    pub converged: bool,
+    /// Wall-clock milliseconds from launch to convergence (or to the stop
+    /// decision if the run did not converge).
+    pub wall_ms: f64,
+    /// Fewest iterations any node ran.
+    pub rounds_min: u64,
+    /// Mean iterations per node.
+    pub rounds_mean: f64,
+    /// Most iterations any node ran.
+    pub rounds_max: u64,
+    /// Total bytes put on the wire across nodes.
+    pub bytes_sent_total: u64,
+    /// Total sends lost to backpressure across nodes.
+    pub dropped_total: u64,
+    /// Worst final per-node relative error against the reference.
+    pub max_rel_error: f64,
+    /// Componentwise sum of all node masses after settling.
+    pub mass_value: Vec<f64>,
+    /// Sum of all node mass weights after settling.
+    pub mass_weight: f64,
+    /// Per-node detail.
+    pub nodes: Vec<NodeReport>,
+}
+
+struct NodeOutcome {
+    stats: DriverStats,
+    wire: WireStats,
+    estimate: Vec<f64>,
+    mass: Vec<f64>,
+    weight: f64,
+}
+
+fn max_rel_error(estimate: &[f64], reference: &[f64]) -> f64 {
+    estimate
+        .iter()
+        .zip(reference)
+        .map(|(e, r)| {
+            let scale = r.abs().max(1e-300);
+            (e - r).abs() / scale
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Run one reduction to convergence over real transport endpoints.
+///
+/// `endpoints[i]` is node `i`'s endpoint (as built by
+/// [`mem_cluster`](crate::mem_cluster) / [`udp_cluster`](crate::udp_cluster));
+/// `make_proto` builds node `i`'s protocol instance (each thread owns a
+/// full instance, driven only for its node); `reference` is the true
+/// aggregate the convergence monitor measures against.
+pub fn run_cluster<Pr, D>(
+    graph: &Graph,
+    endpoints: Vec<D>,
+    make_proto: impl Fn(NodeId) -> Pr + Sync,
+    reference: &[f64],
+    opts: &ClusterOptions,
+) -> Result<ClusterResult, TransportError>
+where
+    Pr: ReductionProtocol + Send,
+    D: Delivery<Pr::Msg, Error = TransportError> + Send,
+    D: WireInstrumented,
+{
+    let n = graph.len();
+    if endpoints.len() != n {
+        return Err(TransportError::Io(format!(
+            "{} endpoints for a {n}-node graph",
+            endpoints.len()
+        )));
+    }
+    let stop = AtomicBool::new(false);
+    let aborted = AtomicBool::new(false);
+    let stepping_done = AtomicUsize::new(0);
+    // Each node publishes its current relative error as f64 bits; the
+    // monitor polls these without locks.
+    let errors: Vec<AtomicU64> = (0..n)
+        .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+        .collect();
+    let start = Instant::now();
+    let make_proto = &make_proto;
+    let (wall_ms, converged, outcomes) = std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut endpoint)| {
+                let stop = &stop;
+                let aborted = &aborted;
+                let stepping_done = &stepping_done;
+                let errors = &errors;
+                scope.spawn(move || -> Result<NodeOutcome, TransportError> {
+                    let node = i as NodeId;
+                    let mut driver = NodeDriver::new(node, make_proto(node), graph, opts.seed);
+                    let mut estimate = vec![0.0; reference.len()];
+                    let run = (|| -> Result<(), TransportError> {
+                        while !stop.load(Ordering::Relaxed)
+                            && driver.stats().rounds < opts.max_rounds
+                        {
+                            driver.step(&mut endpoint)?;
+                            driver.write_estimate(&mut estimate);
+                            let err = max_rel_error(&estimate, reference);
+                            errors[i].store(err.to_bits(), Ordering::Relaxed);
+                            std::thread::yield_now();
+                        }
+                        Ok(())
+                    })();
+                    stepping_done.fetch_add(1, Ordering::SeqCst);
+                    if let Err(e) = run {
+                        aborted.store(true, Ordering::SeqCst);
+                        return Err(e);
+                    }
+                    // Settle: keep draining until the whole cluster has
+                    // stopped stepping and several consecutive sweeps find
+                    // nothing in flight toward this node.
+                    let mut quiet = 0;
+                    while quiet < 8 {
+                        let moved = driver.pump(&mut endpoint)?;
+                        if aborted.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if moved > 0 {
+                            quiet = 0;
+                            continue;
+                        }
+                        if stepping_done.load(Ordering::SeqCst) == n {
+                            quiet += 1;
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    driver.write_estimate(&mut estimate);
+                    let mut mass = vec![0.0; reference.len()];
+                    let weight = driver.write_mass(&mut mass);
+                    Ok(NodeOutcome {
+                        stats: driver.stats(),
+                        wire: endpoint.wire_stats(),
+                        estimate,
+                        mass,
+                        weight,
+                    })
+                })
+            })
+            .collect();
+
+        // Convergence monitor (runs on the caller's thread inside the
+        // scope). Stops the cluster at convergence, completion, error, or
+        // the wall-clock ceiling.
+        let (wall_ms, converged) = loop {
+            let worst = errors
+                .iter()
+                .map(|e| f64::from_bits(e.load(Ordering::Relaxed)))
+                .fold(0.0, f64::max);
+            if worst <= opts.target {
+                break (start.elapsed().as_secs_f64() * 1e3, true);
+            }
+            if aborted.load(Ordering::SeqCst)
+                || stepping_done.load(Ordering::SeqCst) == n
+                || start.elapsed() > opts.wall_limit
+            {
+                break (start.elapsed().as_secs_f64() * 1e3, false);
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        };
+        stop.store(true, Ordering::SeqCst);
+        let outcomes: Vec<Result<NodeOutcome, TransportError>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect();
+        (wall_ms, converged, outcomes)
+    });
+    let outcomes: Vec<NodeOutcome> = outcomes.into_iter().collect::<Result<_, _>>()?;
+
+    let dim = reference.len();
+    let mut mass_value = vec![0.0; dim];
+    let mut mass_weight = 0.0;
+    let mut nodes = Vec::with_capacity(n);
+    let mut max_err: f64 = 0.0;
+    for (i, o) in outcomes.iter().enumerate() {
+        for (acc, &m) in mass_value.iter_mut().zip(&o.mass) {
+            *acc += m;
+        }
+        mass_weight += o.weight;
+        max_err = max_err.max(max_rel_error(&o.estimate, reference));
+        nodes.push(NodeReport {
+            node: i as NodeId,
+            rounds: o.stats.rounds,
+            sent: o.stats.sent,
+            delivered: o.stats.delivered,
+            bytes_sent: o.wire.bytes_sent,
+            bytes_recv: o.wire.bytes_recv,
+            dropped: o.wire.dropped,
+            estimate: o.estimate.clone(),
+        });
+    }
+    let rounds: Vec<u64> = nodes.iter().map(|r| r.rounds).collect();
+    Ok(ClusterResult {
+        converged,
+        wall_ms,
+        rounds_min: rounds.iter().copied().min().unwrap_or(0),
+        rounds_mean: rounds.iter().sum::<u64>() as f64 / rounds.len().max(1) as f64,
+        rounds_max: rounds.iter().copied().max().unwrap_or(0),
+        bytes_sent_total: nodes.iter().map(|r| r.bytes_sent).sum(),
+        dropped_total: nodes.iter().map(|r| r.dropped).sum(),
+        max_rel_error: max_err,
+        mass_value,
+        mass_weight,
+        nodes,
+    })
+}
+
+/// A backend that keeps byte/message counters ([`WireStats`]) — both real
+/// backends do; the trait lets [`run_cluster`] harvest them generically.
+pub trait WireInstrumented {
+    /// Traffic counters so far.
+    fn wire_stats(&self) -> WireStats;
+}
+
+impl<M: gr_reduction::WireMsg> WireInstrumented for crate::mem::MemDelivery<M> {
+    fn wire_stats(&self) -> WireStats {
+        MemDelivery::wire_stats(self)
+    }
+}
+
+impl<M: gr_reduction::WireMsg> WireInstrumented for crate::udp::UdpDelivery<M> {
+    fn wire_stats(&self) -> WireStats {
+        UdpDelivery::wire_stats(self)
+    }
+}

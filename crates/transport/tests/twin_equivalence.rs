@@ -1,0 +1,71 @@
+//! The deterministic-twin pin: netsim and the threaded in-memory
+//! transport must run the same PCF reduction to the same answer.
+//!
+//! This is the contract the whole transport layer stands on — the
+//! simulator is a faithful twin of the real runtime, so protocol results
+//! established in simulation (the paper's methodology) transfer to real
+//! execution. The runs are not bitwise-identical executions (thread
+//! interleaving replaces the round schedule, by design); the *fixed
+//! point* is what must coincide, within the convergence tolerance both
+//! runs are held to. The byte-level half of the twin claim — identical
+//! wire frames for identical messages — is pinned by the codec goldens
+//! in `gr-reduction::wire`.
+
+use gr_topology::hypercube;
+use gr_transport::twin_equivalence;
+
+const EPS: f64 = 1e-9;
+
+#[test]
+fn netsim_and_mem_transport_agree_on_hc6() {
+    let graph = hypercube(6);
+    let n = graph.len();
+    let values: Vec<f64> = (0..n).map(|i| 1.5 * i as f64 - 20.0).collect();
+    let report = twin_equivalence(&graph, &values, 42, EPS, 5_000).unwrap();
+
+    assert!(
+        report.equivalent(),
+        "twins diverged: netsim err {:.3e}, mem err {:.3e} (tolerance {EPS:.0e})",
+        report.netsim_error,
+        report.mem_error
+    );
+    // Within tolerance of the reference on both sides implies the twins
+    // agree with each other to ~2·eps·|reference|.
+    let bound = 2.0 * EPS * report.reference.abs();
+    assert!(
+        report.divergence <= bound,
+        "per-node divergence {:.3e} exceeds {bound:.3e}",
+        report.divergence
+    );
+
+    // The transport leg must also be a *clean* run for the comparison to
+    // mean anything: lossless, and mass-conserving across the per-node
+    // protocol instances after the settle drain.
+    let mem = &report.mem_result;
+    assert_eq!(mem.dropped_total, 0, "lossless run dropped frames");
+    assert!(mem.converged);
+    let total: f64 = values.iter().sum();
+    assert!(
+        (mem.mass_value[0] - total).abs() <= 1e-9 * total.abs().max(1.0),
+        "mass {} drifted from {}",
+        mem.mass_value[0],
+        total
+    );
+    assert!((mem.mass_weight - n as f64).abs() <= 1e-9);
+}
+
+#[test]
+fn twin_agreement_holds_across_seeds() {
+    let graph = hypercube(4);
+    let n = graph.len();
+    let values: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 10.0).collect();
+    for seed in [1, 7, 1234] {
+        let report = twin_equivalence(&graph, &values, seed, EPS, 5_000).unwrap();
+        assert!(
+            report.equivalent(),
+            "seed {seed}: netsim err {:.3e}, mem err {:.3e}",
+            report.netsim_error,
+            report.mem_error
+        );
+    }
+}
