@@ -2,21 +2,29 @@
 //!
 //! Times the simulator's hot kernels (one synchronous round of PF / PCF /
 //! FU on hypercubes of dimension 6/8/10, fault-free and under a stress
-//! plan, plus the vector-payload grid on hc8) on a pinned workload and
-//! emits `BENCH_3.json` in a stable schema. Each kernel also reports its
-//! steady-state heap-allocation rate (a counting shim around the system
-//! allocator, armed only during a counted block), so the allocation-free
-//! claim is part of the committed baseline. CI runs the report against
-//! the committed baseline and fails on any time regression beyond the
-//! tolerance *or* any kernel whose baseline allocation rate was zero
-//! turning allocating; refreshing the baseline is a deliberate
-//! `bench-report --out BENCH_3.json` + commit.
+//! plan, the vector-payload grid on hc8, and a full PCF round over a
+//! million-node torus through the partitioned engine) on a pinned
+//! workload and emits `BENCH_4.json` in a stable schema. Each kernel
+//! also reports its steady-state heap-allocation rate (a counting shim
+//! around the system allocator, armed only during a counted block), so
+//! the allocation-free claim is part of the committed baseline. CI runs
+//! the report against the committed baseline and fails on any time
+//! regression beyond the tolerance *or* any kernel whose baseline
+//! allocation rate was zero turning allocating; refreshing the baseline
+//! is a deliberate `bench-report --out BENCH_4.json` + commit.
 //!
 //! ```text
-//! bench-report                                   # write ./BENCH_3.json
-//! bench-report --out cur.json --baseline BENCH_3.json --tolerance 0.25
+//! bench-report                                   # write ./BENCH_4.json
+//! bench-report --out cur.json --baseline BENCH_4.json --tolerance 0.25
 //! bench-report --blocks 8                        # quicker, noisier
+//! bench-report --only torus1000x1000 --sim-threads 4   # scale kernel on 4 workers
 //! ```
+//!
+//! `--sim-threads` sets the partitioned engine's worker-thread count for
+//! the scale kernel. Thread count never changes simulation results (the
+//! partition count does, and it is pinned per kernel), so reports taken
+//! at different `--sim-threads` values are comparable — only the
+//! wall-clock column moves.
 //!
 //! Methodology: per kernel, warm the simulator past its fault window so
 //! measurement sees the steady state, then time `--blocks` blocks of a
@@ -26,9 +34,9 @@
 //! over one further block after the timed ones.
 
 use gr_experiments::Opts;
-use gr_netsim::{FaultPlan, LinkFailure, NodeCrash, Protocol, Simulator};
+use gr_netsim::{FaultPlan, LinkFailure, NodeCrash, Protocol, SimOptions, Simulator};
 use gr_reduction::{AggregateKind, FlowUpdating, InitialData, Payload, PushCancelFlow, PushFlow};
-use gr_topology::{hypercube, Graph};
+use gr_topology::{hypercube, torus2d, Graph};
 use serde_json::Value;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -174,7 +182,7 @@ fn measure<P: Payload>(
     }
 }
 
-fn run_all(blocks: usize, only: &str) -> Vec<Kernel> {
+fn run_all(blocks: usize, only: &str, sim_threads: usize) -> Vec<Kernel> {
     let mut kernels = Vec::new();
     let push = |kernels: &mut Vec<Kernel>, name: String, (ns, allocs): (f64, f64)| {
         println!("  {name}: {ns:.1} ns/round, {allocs:.2} allocs/round");
@@ -213,6 +221,37 @@ fn run_all(blocks: usize, only: &str) -> Vec<Kernel> {
                 let m = measure(&graph, &data, alg, FaultPlan::none(), blocks);
                 push(&mut kernels, name, m);
             }
+        }
+    }
+    // Scale kernel: one full PCF round over a million-node torus through
+    // the partitioned round engine (16 partitions, matching the
+    // campaign's scale1m stress template). The partition count is pinned
+    // — it selects the RNG streams and is part of what the baseline
+    // asserts — while `--sim-threads` only spreads those partitions
+    // across workers. Two rounds per block keeps a block in the
+    // hundreds-of-milliseconds range, so the block count is capped
+    // rather than inherited from the hypercube grid. The allocation
+    // count is the acceptance criterion that matters here: a steady-state
+    // round over 4M arcs must not touch the heap.
+    {
+        let name = "sim_step/pcf/torus1000x1000/part16".to_string();
+        if only.is_empty() || name.contains(only) {
+            let graph = torus2d(1000, 1000);
+            let data = InitialData::uniform_random(graph.len(), AggregateKind::Average, SEED);
+            let options = SimOptions {
+                partitions: 16,
+                threads: sim_threads,
+                ..SimOptions::default()
+            };
+            let mut sim = Simulator::with_options(
+                &graph,
+                PushCancelFlow::new(&graph, &data),
+                FaultPlan::none(),
+                SEED,
+                options,
+            );
+            let m = time_steps(&mut sim, 2, blocks.min(8), 4);
+            push(&mut kernels, name, m);
         }
     }
     kernels
@@ -299,17 +338,19 @@ fn compare(kernels: &[Kernel], baseline: &Value, tolerance: f64) -> Vec<String> 
 
 fn main() {
     let opts = Opts::from_env();
-    let out = opts.string("out", "BENCH_3.json");
+    let out = opts.string("out", "BENCH_4.json");
     let baseline_path = opts.string("baseline", "");
     let tolerance = opts.f64("tolerance", 0.25);
     let blocks = opts.u64("blocks", 24) as usize;
     let only = opts.string("only", "");
+    let sim_threads = opts.u64("sim-threads", 1) as usize;
     opts.finish();
     assert!(blocks >= 1, "--blocks must be at least 1");
     assert!(tolerance >= 0.0, "--tolerance must be non-negative");
+    assert!(sim_threads >= 1, "--sim-threads must be at least 1");
 
-    println!("bench-report: timing kernels (filter: {only:?})");
-    let kernels = run_all(blocks, &only);
+    println!("bench-report: timing kernels (filter: {only:?}, sim threads: {sim_threads})");
+    let kernels = run_all(blocks, &only, sim_threads);
     assert!(!kernels.is_empty(), "--only {only:?} matched no kernel");
 
     let json = serde_json::to_string_pretty(&report_json(&kernels, blocks)).unwrap();

@@ -41,9 +41,13 @@ pub mod scenario;
 
 pub use oracle::{Invariant, Oracle, Violation};
 pub use report::{
-    baseline_fingerprints, find_scenario, render_replay, run_campaign, CampaignReport,
+    baseline_fingerprints, find_scenario, render_replay, run_campaign, run_campaign_exec,
+    CampaignReport,
 };
-pub use runner::{run_scenario, run_scenario_traced, ScenarioResult, CHECK_EVERY};
+pub use runner::{
+    run_scenario, run_scenario_exec, run_scenario_traced, run_scenario_traced_exec, Exec,
+    ScenarioResult, CHECK_EVERY,
+};
 pub use scenario::{
     sanity_corpus, shard_corpus, stress_corpus, Lane, Scenario, TopologyKind, DEFAULT_SANITY_SEEDS,
     DEFAULT_STRESS_SEEDS,

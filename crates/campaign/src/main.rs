@@ -9,12 +9,22 @@
 //! gr-campaign --mode sanity --list          # print the corpus without running it
 //! gr-campaign --mode sanity --json out.json # also write the machine-readable report
 //! gr-campaign --mode stress --baseline b.json  # exit 1 on violations NOT in b.json
+//! gr-campaign --mode stress --sim-threads 4    # partitioned-engine worker threads
+//! gr-campaign --mode stress --partitions 8     # override engine partition count
 //! gr-campaign --mode twin                   # netsim vs real-transport twin gate
 //! ```
+//!
+//! `--threads` fans the *corpus* out across workers (one scenario per
+//! worker); `--sim-threads` parallelises *inside* each simulation's
+//! partitioned round engine and never changes results. `--partitions`
+//! overrides the engine partition count for every scenario the engine
+//! can express (delay-bearing scenarios keep their own configuration) —
+//! that one *does* change results (partition count selects RNG
+//! streams), so only compare reports run with the same override.
 
 use gr_campaign::{
-    baseline_fingerprints, find_scenario, render_replay, run_campaign, sanity_corpus, shard_corpus,
-    stress_corpus, Lane, DEFAULT_SANITY_SEEDS, DEFAULT_STRESS_SEEDS,
+    baseline_fingerprints, find_scenario, render_replay, run_campaign_exec, sanity_corpus,
+    shard_corpus, stress_corpus, Exec, Lane, DEFAULT_SANITY_SEEDS, DEFAULT_STRESS_SEEDS,
 };
 use gr_experiments::parallel::default_threads;
 use gr_experiments::Opts;
@@ -57,9 +67,15 @@ fn main() {
     let tail = opts.u64("tail", 64) as usize;
     let list = opts.bool("list", false);
     let threads = opts.u64("threads", default_threads() as u64) as usize;
+    let sim_threads = opts.u64("sim-threads", 1) as usize;
+    let partitions = opts.u64("partitions", 0) as usize;
     let json_path = opts.string("json", "");
     let baseline_path = opts.string("baseline", "");
     opts.finish();
+    let exec = Exec {
+        sim_threads,
+        partitions: (partitions > 0).then_some(partitions),
+    };
 
     if !replay.is_empty() {
         // Replay resolves against the *full* corpus, so a fingerprint from
@@ -101,7 +117,7 @@ fn main() {
         return;
     }
 
-    let report = run_campaign(lane, &corpus, threads.max(1));
+    let report = run_campaign_exec(lane, &corpus, threads.max(1), exec);
     print!("{}", report.render());
     if !json_path.is_empty() {
         let j = serde_json::to_string_pretty(&report.to_json()).unwrap();

@@ -12,7 +12,7 @@
 //! replay command that re-runs exactly that scenario and dumps the
 //! netsim trace tail.
 
-use crate::runner::{run_scenario, run_scenario_traced, ScenarioResult};
+use crate::runner::{run_scenario_exec, run_scenario_traced, Exec, ScenarioResult};
 use crate::scenario::{Lane, Scenario};
 use gr_experiments::parallel::par_map;
 use serde::Serialize;
@@ -31,7 +31,22 @@ pub struct CampaignReport {
 /// corpus order (the parallel map is order-preserving), so the report is
 /// independent of scheduling.
 pub fn run_campaign(lane: Lane, corpus: &[Scenario], threads: usize) -> CampaignReport {
-    let results = par_map(corpus.to_vec(), threads, |sc| run_scenario(&sc));
+    run_campaign_exec(lane, corpus, threads, Exec::default())
+}
+
+/// [`run_campaign`] with explicit per-simulation execution options
+/// (partitioned-engine worker threads, partition override). `threads`
+/// stays the scenario fan-out — how many corpus entries run at once —
+/// while `exec.sim_threads` parallelises *inside* each simulation.
+pub fn run_campaign_exec(
+    lane: Lane,
+    corpus: &[Scenario],
+    threads: usize,
+    exec: Exec,
+) -> CampaignReport {
+    let results = par_map(corpus.to_vec(), threads, move |sc| {
+        run_scenario_exec(&sc, exec)
+    });
     CampaignReport { lane, results }
 }
 

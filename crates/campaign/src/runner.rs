@@ -48,9 +48,36 @@ pub struct ScenarioResult {
     pub violation: Option<Violation>,
 }
 
-/// Run one scenario (no tracing).
+/// Execution-level knobs that are *not* part of a scenario's identity:
+/// they may change wall-clock behaviour but never results — with the one
+/// documented exception of [`Exec::partitions`], an explicit operator
+/// override for experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Exec {
+    /// Worker threads for the partitioned engine's parallel phases
+    /// (`0` = the netsim default of 1). Thread count never changes
+    /// results — the partitioned engine's merge order is fixed by
+    /// partition index, and this is pinned by the determinism suite.
+    pub sim_threads: usize,
+    /// Override the engine partition count (`None` = respect each
+    /// scenario's own choice). Unlike threads this *does* change
+    /// results (partition count selects RNG streams), so reports
+    /// produced under an override are comparable only to other runs
+    /// with the same override. The override applies to every scenario
+    /// the partitioned engine can express (zero-delay; async activation
+    /// flips to synchronous); delay-bearing scenarios keep their own
+    /// configuration rather than aborting the lane.
+    pub partitions: Option<usize>,
+}
+
+/// Run one scenario (no tracing, default execution).
 pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
-    run_scenario_traced(sc, None).0
+    run_scenario_exec(sc, Exec::default())
+}
+
+/// Run one scenario with explicit execution options.
+pub fn run_scenario_exec(sc: &Scenario, exec: Exec) -> ScenarioResult {
+    run_scenario_traced_exec(sc, None, exec).0
 }
 
 /// Run one scenario, optionally recording the netsim event trace (ring
@@ -59,15 +86,24 @@ pub fn run_scenario_traced(
     sc: &Scenario,
     trace_capacity: Option<usize>,
 ) -> (ScenarioResult, Option<Trace>) {
+    run_scenario_traced_exec(sc, trace_capacity, Exec::default())
+}
+
+/// [`run_scenario_traced`] with explicit execution options.
+pub fn run_scenario_traced_exec(
+    sc: &Scenario,
+    trace_capacity: Option<usize>,
+    exec: Exec,
+) -> (ScenarioResult, Option<Trace>) {
     let graph = sc.topology.build();
     match sc.workload {
         Workload::Average | Workload::Sum => {
             let data = InitialData::uniform_random(graph.len(), sc.workload.kind(), sc.seed);
-            dispatch(sc, &graph, &data, trace_capacity)
+            dispatch(sc, &graph, &data, trace_capacity, exec)
         }
         Workload::VectorAvg { dim } => {
             let data = vector_data(graph.len(), dim, sc.seed);
-            dispatch(sc, &graph, &data, trace_capacity)
+            dispatch(sc, &graph, &data, trace_capacity, exec)
         }
     }
 }
@@ -90,16 +126,32 @@ fn dispatch<P: Payload>(
     graph: &Graph,
     data: &InitialData<P>,
     trace_capacity: Option<usize>,
+    exec: Exec,
 ) -> (ScenarioResult, Option<Trace>) {
     match sc.algorithm {
-        Algorithm::PushSum => drive(sc, graph, data, PushSum::new(graph, data), trace_capacity),
-        Algorithm::PushFlow => drive(sc, graph, data, PushFlow::new(graph, data), trace_capacity),
+        Algorithm::PushSum => drive(
+            sc,
+            graph,
+            data,
+            PushSum::new(graph, data),
+            trace_capacity,
+            exec,
+        ),
+        Algorithm::PushFlow => drive(
+            sc,
+            graph,
+            data,
+            PushFlow::new(graph, data),
+            trace_capacity,
+            exec,
+        ),
         Algorithm::PushCancelFlow(mode) => drive(
             sc,
             graph,
             data,
             PushCancelFlow::with_mode(graph, data, mode),
             trace_capacity,
+            exec,
         ),
         Algorithm::FlowUpdating => drive(
             sc,
@@ -107,6 +159,7 @@ fn dispatch<P: Payload>(
             data,
             FlowUpdating::new(graph, data),
             trace_capacity,
+            exec,
         ),
     }
 }
@@ -117,13 +170,33 @@ fn drive<P: Payload, Pr: ReductionProtocol>(
     data: &InitialData<P>,
     protocol: Pr,
     trace_capacity: Option<usize>,
+    exec: Exec,
 ) -> (ScenarioResult, Option<Trace>) {
+    let mut options = sc.sim_options();
+    if exec.sim_threads > 0 {
+        options.threads = exec.sim_threads;
+    }
+    if let Some(p) = exec.partitions {
+        // A corpus-wide override must not abort the lane on the (few)
+        // scenarios whose execution model cannot run partitioned: the
+        // engine requires zero delay, so delay-bearing scenarios keep
+        // their own configuration and everything else gets the override.
+        // Zero-delay async-activation scenarios flip to synchronous
+        // activation — the partitioned engine is synchronous by
+        // construction.
+        if p < 2 || options.delay == gr_netsim::DelayModel::None {
+            options.partitions = p;
+            if p >= 2 {
+                options.activation = gr_netsim::Activation::Synchronous;
+            }
+        }
+    }
     // The corpus builders only produce valid execution models; a
-    // hand-built scenario that violates the netsim config rules is
-    // reported through the typed `SimConfigError` here.
-    let mut sim =
-        Simulator::try_with_options(graph, protocol, sc.fault_plan(), sc.seed, sc.sim_options())
-            .unwrap_or_else(|e| panic!("scenario {}: invalid execution model: {e}", sc.hash()));
+    // hand-built scenario (or an incompatible partition override) that
+    // violates the netsim config rules is reported through the typed
+    // `SimConfigError` here.
+    let mut sim = Simulator::try_with_options(graph, protocol, sc.fault_plan(), sc.seed, options)
+        .unwrap_or_else(|e| panic!("scenario {}: invalid execution model: {e}", sc.hash()));
     if let Some(cap) = trace_capacity {
         sim.enable_trace(cap);
     }
@@ -342,6 +415,93 @@ mod tests {
             "{}: {:?}",
             vec.canonical(),
             r.violation
+        );
+    }
+
+    #[test]
+    fn partition_override_is_thread_invariant() {
+        // Force a zero-delay stress scenario onto the partitioned engine
+        // and sweep the worker count: results must be byte-identical —
+        // sim threads are an execution hint, not identity.
+        let sc = stress_corpus(&[2])
+            .into_iter()
+            .find(|s| s.template.starts_with("loss/") && s.delay_max == 0)
+            .unwrap();
+        let exec1 = Exec {
+            sim_threads: 1,
+            partitions: Some(4),
+        };
+        let a = run_scenario_exec(&sc, exec1);
+        for sim_threads in [2, 4] {
+            let b = run_scenario_exec(
+                &sc,
+                Exec {
+                    sim_threads,
+                    partitions: Some(4),
+                },
+            );
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.final_err.to_bits(), b.final_err.to_bits());
+            assert_eq!(a.violation, b.violation);
+        }
+        // And the override genuinely changed the execution relative to
+        // the classic engine (different RNG streams).
+        let classic = run_scenario(&sc);
+        assert_ne!(classic.stats, a.stats);
+    }
+
+    #[test]
+    fn partition_override_skips_delay_scenarios() {
+        // A corpus-wide `--partitions` override must not abort the lane
+        // on delay-bearing scenarios the partitioned engine cannot
+        // express: they keep their own configuration, byte-for-byte.
+        let sc = stress_corpus(&[1])
+            .into_iter()
+            .find(|s| s.delay_max > 0)
+            .unwrap();
+        let overridden = run_scenario_exec(
+            &sc,
+            Exec {
+                sim_threads: 1,
+                partitions: Some(4),
+            },
+        );
+        let own = run_scenario(&sc);
+        assert_eq!(own.rounds, overridden.rounds);
+        assert_eq!(own.stats, overridden.stats);
+        assert_eq!(own.final_err.to_bits(), overridden.final_err.to_bits());
+        assert_eq!(own.violation, overridden.violation);
+    }
+
+    #[test]
+    fn million_node_scenario_executes_partitioned() {
+        let sc = stress_corpus(&[1])
+            .into_iter()
+            .find(|s| s.template == "scale1m-avg/torus1000x1000")
+            .unwrap();
+        let r = run_scenario_exec(
+            &sc,
+            Exec {
+                sim_threads: 2,
+                partitions: None,
+            },
+        );
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert_eq!(r.rounds, 8);
+        // Every node sends each of the 8 full-sweep rounds.
+        assert_eq!(r.stats.sent, 8_000_000);
+        assert!(r.stats.lost_random > 0, "loss never fired: {:?}", r.stats);
+        // 8 rounds into a diameter-1000 mix the error is still huge (a
+        // PCF weight estimate may even pass through zero, making it ∞) —
+        // the template checks engine execution and oracle screens, not
+        // convergence. The transport must have delivered the non-lost
+        // traffic, though.
+        assert_eq!(
+            r.stats.delivered + r.stats.lost_random,
+            r.stats.sent,
+            "{:?}",
+            r.stats
         );
     }
 

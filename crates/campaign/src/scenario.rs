@@ -177,6 +177,13 @@ pub struct Scenario {
     /// Scheduled node restarts `(node, round)` — the crashed node rejoins
     /// with fresh initial state and must be counted exactly once.
     pub restarts: Crashes,
+    /// Engine partition count (`0` = the classic single-partition
+    /// engine). A value ≥ 2 opts into the partitioned round engine —
+    /// synchronous activation, zero delay — and is part of the scenario's
+    /// identity: partition count selects the RNG streams, so it changes
+    /// results (unlike worker thread count, which never does and is
+    /// deliberately *not* a scenario field).
+    pub partitions: usize,
 }
 
 impl Scenario {
@@ -209,7 +216,11 @@ impl Scenario {
     /// asynchronous model the oracle's tight sanity tolerances rely on.
     pub fn sim_options(&self) -> SimOptions {
         SimOptions {
-            activation: if self.delay_max > 0 {
+            // Partitioned scenarios run synchronously: the partitioned
+            // engine is a synchronous-round, zero-delay engine by
+            // construction (`SimConfigError::PartitionedAsync` /
+            // `PartitionedDelay` reject everything else).
+            activation: if self.delay_max > 0 || self.partitions >= 2 {
                 Activation::Synchronous
             } else {
                 Activation::Asynchronous
@@ -229,6 +240,7 @@ impl Scenario {
             } else {
                 DetectorModel::Oracle
             },
+            partitions: self.partitions,
             ..SimOptions::default()
         }
     }
@@ -244,7 +256,7 @@ impl Scenario {
     /// of silently replaying the wrong case (v2 added workload, delay,
     /// detector window, link heals and node restarts).
     pub fn canonical(&self) -> String {
-        format!(
+        let mut s = format!(
             "v2|{}|{}|{}|{}|wl={}|seed={}|rounds={}|acc={:e}|loss={:e}|flips={:e}\
              |delay={}|window={}|links={:?}|heals={:?}|crashes={:?}|restarts={:?}",
             self.lane.label(),
@@ -263,7 +275,13 @@ impl Scenario {
             self.link_heals,
             self.crashes,
             self.restarts,
-        )
+        );
+        // Appended only when set, so every pre-partitioning fingerprint
+        // stays byte-identical (same reason the encoding is versioned).
+        if self.partitions != 0 {
+            s.push_str(&format!("|parts={}", self.partitions));
+        }
+        s
     }
 
     /// The 16-hex-digit scenario fingerprint hash.
@@ -350,6 +368,7 @@ fn base_scenario(
         link_heals: Vec::new(),
         crashes: Vec::new(),
         restarts: Vec::new(),
+        partitions: 0,
     }
 }
 
@@ -577,6 +596,32 @@ pub fn stress_corpus(seeds: &[u64]) -> Vec<Scenario> {
             }
         }
     }
+
+    // Million-node template: one full-size PCF case on the 1000×1000
+    // torus, run on the partitioned round engine (16 contiguous CSR
+    // blocks — the auto-partition granularity for 10⁶ nodes). The round
+    // budget is a handful of full sweeps: the point is not convergence
+    // (a diameter-1000 torus mixes over ~10⁶ rounds) but that the
+    // engine executes million-node rounds with probabilistic loss under
+    // the campaign oracle — mass accounting, flow screens and report
+    // fingerprints all at the paper-exceeding scale. PCF-hardened only
+    // and no scheduled faults, to keep corpus construction free of a
+    // million-node fault-placement build and the stress lane's runtime
+    // within CI budget.
+    let mega = TopologyKind::Torus2d(1000, 1000);
+    for &seed in seeds {
+        let mut sc = base_scenario(
+            Lane::Stress,
+            format!("scale1m-avg/{}", mega.label()),
+            mega,
+            Algorithm::PushCancelFlow(PhiMode::Hardened),
+            seed,
+        );
+        sc.max_rounds = 8;
+        sc.loss = 0.01;
+        sc.partitions = 16;
+        corpus.push(sc);
+    }
     corpus
 }
 
@@ -708,6 +753,9 @@ mod tests {
     #[test]
     fn scheduled_faults_are_valid_edges_and_nodes() {
         for sc in stress_corpus(&[1, 2, 3]) {
+            if !sc.has_scheduled_faults() {
+                continue; // nothing to validate — skip the graph build
+            }
             let g = sc.topology.build();
             for &(a, b, _) in &sc.link_failures {
                 assert!(g.neighbors(a).contains(&b), "{}", sc.canonical());
@@ -841,6 +889,41 @@ mod tests {
         assert!(corpus
             .iter()
             .any(|s| matches!(s.workload, Workload::VectorAvg { dim } if dim > INLINE_CAP)));
+    }
+
+    #[test]
+    fn million_node_template_runs_partitioned() {
+        let corpus = stress_corpus(&[1]);
+        let sc = corpus
+            .iter()
+            .find(|s| s.template == "scale1m-avg/torus1000x1000")
+            .expect("million-node template in stress corpus");
+        assert_eq!(sc.topology.nodes(), 1_000_000);
+        assert_eq!(sc.partitions, 16);
+        assert!(!sc.has_scheduled_faults());
+        assert_eq!(sc.validate(), Ok(()));
+        let opts = sc.sim_options();
+        assert_eq!(opts.activation, Activation::Synchronous);
+        assert_eq!(opts.delay, DelayModel::None);
+        assert_eq!(opts.partitions, 16);
+        assert!(sc.canonical().ends_with("|parts=16"));
+    }
+
+    #[test]
+    fn partition_field_is_hash_neutral_when_unset() {
+        // The v2 canonical encoding must be byte-identical for every
+        // pre-partitioning scenario, or all committed fingerprints break.
+        for sc in sanity_corpus(&[1]).iter().chain(stress_corpus(&[1]).iter()) {
+            if sc.partitions == 0 {
+                assert!(!sc.canonical().contains("parts="), "{}", sc.canonical());
+            }
+        }
+        // And setting it perturbs the fingerprint (it selects different
+        // RNG streams, so it is identity, not an execution hint).
+        let mut sc = stress_corpus(&[1])[0].clone();
+        let before = sc.hash();
+        sc.partitions = 4;
+        assert_ne!(sc.hash(), before);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 mod delivery;
 mod faults;
 mod options;
+mod par;
 mod rng;
 mod schedule;
 mod sim;

@@ -110,6 +110,17 @@ pub enum SimConfigError {
     /// A timeout detector with `window == 0` would suspect every neighbor
     /// before its first message could possibly arrive.
     ZeroTimeoutWindow,
+    /// `threads == 0` — the worker count includes the caller's thread, so
+    /// zero threads cannot execute anything.
+    ZeroThreads,
+    /// The partitioned round engine (`partitions ≥ 2`) is defined only for
+    /// synchronous activation; asynchronous activation interleaves single
+    /// nodes globally and has no partition-local round structure.
+    PartitionedAsync,
+    /// The partitioned round engine requires the zero-delay model: its
+    /// mailbox lanes are drained every round, so messages cannot stay in
+    /// flight across rounds.
+    PartitionedDelay,
 }
 
 impl std::fmt::Display for SimConfigError {
@@ -121,6 +132,24 @@ impl std::fmt::Display for SimConfigError {
             SimConfigError::ZeroTimeoutWindow => {
                 write!(f, "timeout detector window must be at least 1 round")
             }
+            SimConfigError::ZeroThreads => {
+                write!(
+                    f,
+                    "thread count must be at least 1 (1 = run on the caller's thread)"
+                )
+            }
+            SimConfigError::PartitionedAsync => {
+                write!(
+                    f,
+                    "the partitioned round engine (partitions >= 2) requires synchronous activation"
+                )
+            }
+            SimConfigError::PartitionedDelay => {
+                write!(
+                    f,
+                    "the partitioned round engine (partitions >= 2) requires the zero-delay model"
+                )
+            }
         }
     }
 }
@@ -129,7 +158,7 @@ impl std::error::Error for SimConfigError {}
 
 /// Bundle of execution-model knobs accepted by
 /// [`Simulator::with_options`](crate::Simulator::with_options).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SimOptions {
     /// Partner-selection policy.
     pub schedule: Schedule,
@@ -140,7 +169,48 @@ pub struct SimOptions {
     pub delay: DelayModel,
     /// Failure-detection model.
     pub detector: DetectorModel,
+    /// Worker threads for the partitioned round engine. `1` (the default)
+    /// runs everything on the caller's thread. Thread count is purely an
+    /// execution hint: for a fixed partition count, results are
+    /// byte-identical for every `threads` value. `0` is a config error.
+    pub threads: usize,
+    /// Partition count for the partitioned round engine. This — not
+    /// `threads` — is what determinism is keyed on:
+    ///
+    /// * `1` forces the classic single-stream engine (today's exact
+    ///   semantics and RNG draws);
+    /// * `k ≥ 2` partitions the node range into `k` contiguous CSR
+    ///   blocks, each with its own schedule/fault RNG stream
+    ///   (requires synchronous activation and zero delay);
+    /// * `0` (the default) picks automatically: large synchronous
+    ///   zero-delay topologies get partitioned, everything else runs the
+    ///   classic engine. Small graphs therefore keep their historical
+    ///   schedules bit-for-bit.
+    pub partitions: usize,
 }
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            schedule: Schedule::default(),
+            activation: Activation::default(),
+            delay: DelayModel::default(),
+            detector: DetectorModel::default(),
+            threads: 1,
+            partitions: 0,
+        }
+    }
+}
+
+/// Node count at or above which `partitions: 0` auto-selects the
+/// partitioned engine (when the activation/delay model allows it).
+pub(crate) const AUTO_PARTITION_MIN_NODES: usize = 65_536;
+
+/// Target nodes per partition under auto-selection.
+pub(crate) const AUTO_PARTITION_TARGET: usize = 65_536;
+
+/// Upper bound on auto-selected partition count.
+pub(crate) const AUTO_PARTITION_MAX: usize = 64;
 
 impl SimOptions {
     /// Check the option combination for internal consistency.
@@ -151,7 +221,32 @@ impl SimOptions {
         if self.detector == (DetectorModel::Timeout { window: 0 }) {
             return Err(SimConfigError::ZeroTimeoutWindow);
         }
+        if self.threads == 0 {
+            return Err(SimConfigError::ZeroThreads);
+        }
+        if self.partitions >= 2 {
+            if self.activation != Activation::Synchronous {
+                return Err(SimConfigError::PartitionedAsync);
+            }
+            if self.delay.max_delay() != 0 {
+                return Err(SimConfigError::PartitionedDelay);
+            }
+        }
         Ok(())
+    }
+
+    /// Resolve the effective partition count for an `n`-node topology.
+    /// Assumes `validate()` passed.
+    pub(crate) fn resolve_partitions(&self, n: usize) -> usize {
+        let auto_eligible = self.activation == Activation::Synchronous
+            && self.delay.max_delay() == 0
+            && n >= AUTO_PARTITION_MIN_NODES;
+        let p = match self.partitions {
+            0 if auto_eligible => n.div_ceil(AUTO_PARTITION_TARGET).min(AUTO_PARTITION_MAX),
+            0 | 1 => 1,
+            k => k,
+        };
+        p.clamp(1, n.max(1))
     }
 }
 

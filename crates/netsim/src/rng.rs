@@ -28,6 +28,14 @@ pub enum RngStream {
     Faults,
     /// Initial data / workload generation.
     Workload,
+    /// Partner choice for one partition of the partitioned round engine.
+    /// Distinct from [`RngStream::Schedule`] even for partition 0, so the
+    /// partitioned schedule (any `P ≥ 2`) is one fixed deterministic
+    /// function of `(seed, partition)` — independent of worker-thread
+    /// count by construction.
+    SchedulePart(u32),
+    /// Fault coin flips for one partition of the partitioned engine.
+    FaultsPart(u32),
     /// Anything experiment-specific (run replication etc.).
     Aux(u64),
 }
@@ -38,6 +46,8 @@ impl RngStream {
             RngStream::Schedule => 0x5348_4544, // "SHED"
             RngStream::Faults => 0x4641_554C,   // "FAUL"
             RngStream::Workload => 0x574f_524b, // "WORK"
+            RngStream::SchedulePart(p) => 0x5350_0000_0000_0000 | u64::from(p), // "SP"
+            RngStream::FaultsPart(p) => 0x4650_0000_0000_0000 | u64::from(p), // "FP"
             RngStream::Aux(k) => 0xA000_0000_0000_0000 ^ k,
         }
     }

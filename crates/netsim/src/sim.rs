@@ -108,6 +108,76 @@ pub trait Protocol {
     fn reclaim(&mut self, msg: Self::Msg) {
         let _ = msg;
     }
+
+    // ----- partitioned round engine (see DESIGN §13) -------------------
+    //
+    // With `SimOptions::partitions >= 2` the simulator splits the node
+    // range into contiguous CSR blocks and runs the send/deliver/reply
+    // phases once per partition, always through the `part_*` hooks below.
+    // The default implementations delegate to the base hooks, so every
+    // protocol works under the partitioned engine unchanged (sequential
+    // execution). A protocol opts into *parallel* execution of those
+    // phases by setting [`PARALLEL_SAFE`](Self::PARALLEL_SAFE) — at which
+    // point it promises the contract documented there, typically by
+    // keeping one arena (message pool, scratch buffer, stat counters)
+    // per partition, indexed by the `part` argument.
+
+    /// Declares the partition-phase hooks safe to run concurrently, one
+    /// thread per partition. A protocol may set this to `true` iff:
+    ///
+    /// * `part_send(part, node, ..)` / `part_receive(part, node, ..)` /
+    ///   `part_reply(part, node, ..)` touch only (a) state owned by
+    ///   `node` — its per-node record and the per-arc state of *its own*
+    ///   directed arcs — and (b) arenas indexed by `part`;
+    /// * the failure hooks (`on_link_failed`, `on_suspect`,
+    ///   `on_rehabilitate`, `on_neighbor_restarted`) touch only state
+    ///   owned by their first argument;
+    /// * `part_reclaim(part, ..)` touches only the `part` arena.
+    ///
+    /// Nodes are partition-contiguous, so "state owned by `node`" is
+    /// disjoint across concurrently-running partitions. Thread count
+    /// never changes results either way — it is purely an execution
+    /// hint; `false` (the default) merely forces sequential execution.
+    const PARALLEL_SAFE: bool = false;
+
+    /// Called once before the first round when the partitioned engine is
+    /// active, with the resolved partition count. Protocols that keep
+    /// per-partition arenas size them here. Default: do nothing.
+    fn set_partitions(&mut self, partitions: usize) {
+        let _ = partitions;
+    }
+
+    /// Partition-phase variant of [`on_send`](Self::on_send); `node`
+    /// belongs to partition `part`. Default: delegate.
+    #[inline]
+    fn part_send(&mut self, part: usize, node: NodeId, target: NodeId) -> Self::Msg {
+        let _ = part;
+        self.on_send(node, target)
+    }
+
+    /// Partition-phase variant of [`on_receive`](Self::on_receive);
+    /// `node` belongs to partition `part`. Default: delegate.
+    #[inline]
+    fn part_receive(&mut self, part: usize, node: NodeId, from: NodeId, msg: &mut Self::Msg) {
+        let _ = part;
+        self.on_receive(node, from, msg);
+    }
+
+    /// Partition-phase variant of [`reply`](Self::reply); `node` belongs
+    /// to partition `part`. Default: delegate.
+    #[inline]
+    fn part_reply(&mut self, part: usize, node: NodeId, from: NodeId) -> Option<Self::Msg> {
+        let _ = part;
+        self.reply(node, from)
+    }
+
+    /// Partition-phase variant of [`reclaim`](Self::reclaim), handing the
+    /// buffer back to partition `part`'s arena. Default: delegate.
+    #[inline]
+    fn part_reclaim(&mut self, part: usize, msg: Self::Msg) {
+        let _ = part;
+        self.reclaim(msg)
+    }
 }
 
 /// Counters accumulated over a run.
@@ -132,6 +202,164 @@ pub struct SimStats {
     pub rehabilitated: u64,
     /// Liveness probes sent on suspected arcs (timeout mode only).
     pub probes_sent: u64,
+}
+
+impl SimStats {
+    /// Fold a per-partition delta into the global counters. `rounds` is
+    /// global bookkeeping and is deliberately not summed.
+    fn absorb(&mut self, d: &SimStats) {
+        self.sent += d.sent;
+        self.delivered += d.delivered;
+        self.lost_random += d.lost_random;
+        self.lost_dead += d.lost_dead;
+        self.bit_flips += d.bit_flips;
+        self.suspected += d.suspected;
+        self.rehabilitated += d.rehabilitated;
+        self.probes_sent += d.probes_sent;
+    }
+}
+
+/// Mutable per-partition state of the partitioned round engine. Worker
+/// `p` owns `parts[p]` exclusively during a parallel phase; the stats
+/// delta and buffered trace events are merged into the global sinks in
+/// fixed partition order at the end of every round, so the observable
+/// result is independent of thread count.
+struct Part {
+    node_start: NodeId,
+    node_end: NodeId,
+    sched_rng: StdRng,
+    fault_rng: StdRng,
+    stats: SimStats,
+    events: Vec<Event>,
+}
+
+/// Shuttles the `&mut Simulator` into pool workers. Soundness rests on
+/// the phase-disjointness contract documented at
+/// [`Simulator::par_run`]: every thread dereferencing this pointer
+/// touches only partition-owned or read-only state, and the dispatching
+/// thread blocks until all workers retire the phase.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `SendPtr` — edition-2021 disjoint capture of `.0` would grab the
+    /// bare `*mut T`, which is deliberately not `Sync`.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Packs a timing-wheel / suspect-list entry: owner node in the high 32
+/// bits, global arc index in the low 32. Sorting packed entries ascending
+/// is exactly (node asc, arc asc) order.
+#[inline]
+fn pack_arc(node: NodeId, arc: usize) -> u64 {
+    ((node as u64) << 32) | arc as u64
+}
+
+/// O(active) timeout-detector state for one partition's arc range
+/// (`P == 1`: a single part covering every arc).
+///
+/// The legacy detector scanned every believed arc every round. Here each
+/// *monitored* arc — owner alive, neighbor believed — keeps exactly one
+/// entry in a timing wheel, parked in the slot of its current deadline
+/// `last_heard + window`. A round's scan touches only the entries whose
+/// slot comes due: an entry whose silence clock was reset re-parks at its
+/// new deadline, an entry that stopped being monitored is dropped
+/// (re-armed by the heal/restart/arrival paths that resume monitoring),
+/// and the remainder fire as suspicions — at exactly the round the full
+/// scan would have found them, which keeps golden detector hashes
+/// byte-identical.
+#[derive(Default)]
+struct DetectorPart {
+    /// First global arc index of this part's range; bit `arc - arc_start`
+    /// in the masks below. Per-part masks are separate allocations, so
+    /// parallel workers never touch the same word.
+    arc_start: usize,
+    /// `i` suspects `j` ⇔ bit for `arc(i→j)` set.
+    suspected: Vec<u64>,
+    /// Arc currently holds a timing-wheel entry.
+    in_wheel: Vec<u64>,
+    /// `wheel[deadline % wheel.len()]` holds the entries to examine when
+    /// `round ≡ deadline`; length `min(window, 4096) + 1` so a re-park
+    /// never lands back in the slot being drained (deadlines beyond one
+    /// lap just take extra no-op hops).
+    wheel: Vec<Vec<u64>>,
+    /// Scratch: entries due this round, sorted (node asc, arc desc) to
+    /// replay the legacy backward believed-list walk.
+    due: Vec<u64>,
+    /// Sorted packed entries for every suspected arc — the probe fan-out
+    /// iterates this instead of scanning the bitmask over all nodes.
+    suspects: Vec<u64>,
+}
+
+impl DetectorPart {
+    fn new(arc_start: usize, arc_end: usize, window: u64) -> Self {
+        let arcs = arc_end - arc_start;
+        let wheel_len = (window.min(4096) + 1) as usize;
+        DetectorPart {
+            arc_start,
+            suspected: vec![0; arcs.div_ceil(64)],
+            in_wheel: vec![0; arcs.div_ceil(64)],
+            wheel: (0..wheel_len).map(|_| Vec::new()).collect(),
+            due: Vec::new(),
+            suspects: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn is_suspected(&self, arc: usize) -> bool {
+        let a = arc - self.arc_start;
+        self.suspected[a / 64] & (1 << (a % 64)) != 0
+    }
+
+    #[inline]
+    fn set_suspected(&mut self, arc: usize) {
+        let a = arc - self.arc_start;
+        self.suspected[a / 64] |= 1 << (a % 64);
+    }
+
+    #[inline]
+    fn clear_suspected_bit(&mut self, arc: usize) {
+        let a = arc - self.arc_start;
+        self.suspected[a / 64] &= !(1 << (a % 64));
+    }
+
+    #[inline]
+    fn clear_in_wheel(&mut self, arc: usize) {
+        let a = arc - self.arc_start;
+        self.in_wheel[a / 64] &= !(1 << (a % 64));
+    }
+
+    /// Ensure `arc` (owned by `node`) has a wheel entry; parks it at
+    /// `deadline` if it had none. Callers pass the arc's current
+    /// `last_heard + window`, which is `> round` on every arm path.
+    #[inline]
+    fn arm(&mut self, node: NodeId, arc: usize, deadline: u64) {
+        let a = arc - self.arc_start;
+        let (w, b) = (a / 64, 1u64 << (a % 64));
+        if self.in_wheel[w] & b == 0 {
+            self.in_wheel[w] |= b;
+            let slot = (deadline % self.wheel.len() as u64) as usize;
+            self.wheel[slot].push(pack_arc(node, arc));
+        }
+    }
+
+    #[inline]
+    fn suspects_insert(&mut self, entry: u64) {
+        if let Err(pos) = self.suspects.binary_search(&entry) {
+            self.suspects.insert(pos, entry);
+        }
+    }
+
+    #[inline]
+    fn suspects_remove(&mut self, entry: u64) {
+        if let Ok(pos) = self.suspects.binary_search(&entry) {
+            self.suspects.remove(pos);
+        }
+    }
 }
 
 /// One pending "link (a,b) is detected failed at `round`" event.
@@ -220,11 +448,37 @@ pub struct Simulator<'g, P: Protocol> {
     detector_window: u64,
     /// `last_heard[arc_base(i) + neighbor_slot(i, j)]` = last round a
     /// message from `j` reached `i`'s receive handler (timeout mode only;
-    /// empty under the oracle detector).
+    /// empty under the oracle detector). One global array — partitions
+    /// touch element-disjoint, partition-contiguous ranges.
     last_heard: Vec<u64>,
-    /// Per-arc suspicion bits, indexed like `dead_arcs` (timeout mode
-    /// only). `i` suspects `j` ⇔ bit `arc_base(i) + slot(i, j)` set.
-    suspected_arcs: Vec<u64>,
+    /// Per-partition timeout-detector state (one part covering all arcs
+    /// when `partitions == 1`); empty under the oracle detector.
+    det: Vec<DetectorPart>,
+    /// Resolved partition count; `1` selects the classic single-stream
+    /// engine (byte-identical to the pre-partitioning simulator), `≥ 2`
+    /// the partitioned engine with per-partition RNG streams.
+    partitions: usize,
+    /// `part_starts[p]` = first node of partition `p` (`partitions + 1`
+    /// entries); empty when `partitions == 1`.
+    part_starts: Vec<NodeId>,
+    /// Per-partition mutable state; empty when `partitions == 1`.
+    parts: Vec<Part>,
+    /// Cross-partition mailbox lanes, `lanes[p * partitions + q]` =
+    /// messages sent this round from partition `p` to partition `q`.
+    /// The send phase has worker `p` write row `p`; after the barrier the
+    /// deliver phase has worker `q` drain column `q` in ascending `p`
+    /// order — disjoint index sets per phase, fixed merge order.
+    lanes: Vec<Vec<(NodeId, NodeId, P::Msg)>>,
+    /// Same shape for push-pull replies: the deliver phase has worker `q`
+    /// write row `q`, the reply phase has worker `p` drain column `p`.
+    reply_lanes: Vec<Vec<(NodeId, NodeId, P::Msg)>>,
+    /// Same shape for liveness probes (timeout mode), keyed by the
+    /// *target*'s partition and delivered at the start of the next round.
+    probe_lanes: Vec<Vec<(NodeId, NodeId)>>,
+    /// Persistent worker pool, present iff `partitions > 1`, `threads >
+    /// 1` and the protocol declared `PARALLEL_SAFE`. Without it the
+    /// partition phases run sequentially — same results either way.
+    pool: Option<crate::par::WorkerPool>,
     /// The delivery substrate (see [`RingDelivery`]): `buckets[r % len]`
     /// holds the messages due in round `r`, in send order. With the
     /// default zero-delay model this is a single reused buffer. Extracted
@@ -316,6 +570,78 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             DetectorModel::Oracle => (false, 0),
             DetectorModel::Timeout { window } => (true, window),
         };
+        let partitions = options.resolve_partitions(n);
+        let part_starts: Vec<NodeId> = if partitions > 1 {
+            (0..=partitions)
+                .map(|p| (p * n / partitions) as NodeId)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let part_arc_start = |p: usize| -> usize {
+            if p == partitions {
+                graph.arc_count()
+            } else {
+                graph.arc_base(part_starts[p])
+            }
+        };
+        let parts: Vec<Part> = (0..if partitions > 1 { partitions } else { 0 })
+            .map(|p| Part {
+                node_start: part_starts[p],
+                node_end: part_starts[p + 1],
+                sched_rng: stream_rng(seed, RngStream::SchedulePart(p as u32)),
+                fault_rng: stream_rng(seed, RngStream::FaultsPart(p as u32)),
+                stats: SimStats::default(),
+                events: Vec::new(),
+            })
+            .collect();
+        let det: Vec<DetectorPart> = if detector_timeout {
+            assert!(
+                graph.arc_count() <= u32::MAX as usize,
+                "timeout detector packs arc ids into 32 bits"
+            );
+            let nparts = partitions.max(1);
+            (0..nparts)
+                .map(|p| {
+                    let (a0, a1) = if partitions > 1 {
+                        (part_arc_start(p), part_arc_start(p + 1))
+                    } else {
+                        (0, graph.arc_count())
+                    };
+                    let mut d = DetectorPart::new(a0, a1, detector_window);
+                    // Initially every arc is monitored with an untouched
+                    // silence clock (`last_heard == 0`).
+                    let (ns, ne) = if partitions > 1 {
+                        (part_starts[p], part_starts[p + 1])
+                    } else {
+                        (0, n as NodeId)
+                    };
+                    for i in ns..ne {
+                        let base = graph.arc_base(i);
+                        for s in 0..graph.degree(i) {
+                            d.arm(i, base + s, detector_window);
+                        }
+                    }
+                    d
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let nlanes = if partitions > 1 {
+            partitions * partitions
+        } else {
+            0
+        };
+        let pool = if partitions > 1 && options.threads > 1 && P::PARALLEL_SAFE {
+            Some(crate::par::WorkerPool::new(options.threads.min(partitions)))
+        } else {
+            None
+        };
+        let mut protocol = protocol;
+        if partitions > 1 {
+            protocol.set_partitions(partitions);
+        }
         Ok(Simulator {
             graph,
             protocol,
@@ -347,13 +673,20 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             } else {
                 Vec::new()
             },
-            suspected_arcs: if detector_timeout {
-                vec![0; graph.arc_count().div_ceil(64)]
+            det,
+            partitions,
+            part_starts,
+            parts,
+            lanes: (0..nlanes).map(|_| Vec::new()).collect(),
+            reply_lanes: (0..nlanes).map(|_| Vec::new()).collect(),
+            probe_lanes: if detector_timeout && partitions > 1 {
+                (0..nlanes).map(|_| Vec::new()).collect()
             } else {
                 Vec::new()
             },
+            pool,
             ring,
-            probe_ring: if detector_timeout {
+            probe_ring: if detector_timeout && partitions == 1 {
                 (0..options.delay.max_delay() + 1)
                     .map(|_| Vec::new())
                     .collect()
@@ -504,12 +837,36 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         }
     }
 
+    /// Partition index of `node` under the partitioned engine (`0` for
+    /// the classic engine). `starts[p] = ⌊p·n/P⌋`, whose exact inverse is
+    /// the division below.
+    #[inline]
+    fn part_of(&self, node: NodeId) -> usize {
+        if self.partitions <= 1 {
+            return 0;
+        }
+        let p =
+            (((node as u64 + 1) * self.partitions as u64 - 1) / self.graph.len() as u64) as usize;
+        debug_assert!(self.part_starts[p] <= node && node < self.part_starts[p + 1]);
+        p
+    }
+
+    /// Forget any suspicion of `neighbor` by `node` and restart the arc's
+    /// silence clock (heal/restart bookkeeping). Also re-arms the arc's
+    /// timing-wheel entry: the arc is (back) under monitoring.
     #[inline]
     fn clear_suspected(&mut self, node: NodeId, neighbor: NodeId) {
         if let Some(slot) = self.graph.neighbor_slot(node, neighbor) {
             let arc = self.graph.arc_base(node) + slot;
-            self.suspected_arcs[arc / 64] &= !(1 << (arc % 64));
             self.last_heard[arc] = self.round;
+            let deadline = self.round.saturating_add(self.detector_window);
+            let p = self.part_of(node);
+            let det = &mut self.det[p];
+            if det.is_suspected(arc) {
+                det.clear_suspected_bit(arc);
+                det.suspects_remove(pack_arc(node, arc));
+            }
+            det.arm(node, arc, deadline);
         }
     }
 
@@ -670,6 +1027,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         for bucket in &mut self.probe_ring {
             bucket.retain(|&(src, dst)| src != node && dst != node);
         }
+        for lane in &mut self.probe_lanes {
+            lane.retain(|&(src, dst)| src != node && dst != node);
+        }
         // Pending oracle detections about the node are stale too — except
         // a neighbor's detection of a *link* that is still physically
         // dead, which must survive the reboot.
@@ -819,9 +1179,17 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             .neighbor_slot(dst, src)
             .expect("delivery on a non-edge");
         let arc = self.graph.arc_base(dst) + slot;
-        let (word, bit) = (arc / 64, 1u64 << (arc % 64));
-        if self.suspected_arcs[word] & bit != 0 {
-            self.suspected_arcs[word] &= !bit;
+        let was_suspected = {
+            let det = &mut self.det[0];
+            if det.is_suspected(arc) {
+                det.clear_suspected_bit(arc);
+                det.suspects_remove(pack_arc(dst, arc));
+                true
+            } else {
+                false
+            }
+        };
+        if was_suspected {
             self.readmit_believed(dst, src);
             self.stats.rehabilitated += 1;
             self.record(Event::NodeRehabilitated {
@@ -832,44 +1200,123 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             self.protocol.on_rehabilitate(dst, src);
         }
         self.last_heard[arc] = self.round;
+        let deadline = self.round.saturating_add(self.detector_window);
+        self.det[0].arm(dst, arc, deadline);
+    }
+
+    /// [`note_arrival`](Self::note_arrival) for the partitioned engine:
+    /// detector state of partition `p` (owning `dst`), stats/events into
+    /// `p`'s buffers.
+    #[inline]
+    fn note_arrival_part(&mut self, p: usize, dst: NodeId, src: NodeId) {
+        let slot = self
+            .graph
+            .neighbor_slot(dst, src)
+            .expect("delivery on a non-edge");
+        let arc = self.graph.arc_base(dst) + slot;
+        let was_suspected = {
+            let det = &mut self.det[p];
+            if det.is_suspected(arc) {
+                det.clear_suspected_bit(arc);
+                det.suspects_remove(pack_arc(dst, arc));
+                true
+            } else {
+                false
+            }
+        };
+        if was_suspected {
+            self.readmit_believed(dst, src);
+            self.parts[p].stats.rehabilitated += 1;
+            if self.trace.is_some() {
+                let e = Event::NodeRehabilitated {
+                    round: self.round,
+                    node: dst,
+                    neighbor: src,
+                };
+                self.parts[p].events.push(e);
+            }
+            self.protocol.on_rehabilitate(dst, src);
+        }
+        self.last_heard[arc] = self.round;
+        let deadline = self.round.saturating_add(self.detector_window);
+        self.det[p].arm(dst, arc, deadline);
+    }
+
+    /// Timing-wheel maintenance for one detector part: drain the slot due
+    /// at `round` into `det.due` (the arcs to suspect), re-parking entries
+    /// whose silence clock was reset and dropping entries that stopped
+    /// being monitored. `det` is moved out of `self.det` by the caller,
+    /// so this borrows the rest of the simulator freely. Read-only on
+    /// simulator state; consumes no RNG.
+    fn collect_due(&mut self, det: &mut DetectorPart, round: u64) {
+        let wheel_len = det.wheel.len() as u64;
+        let si = (round % wheel_len) as usize;
+        let len0 = det.wheel[si].len();
+        det.due.clear();
+        for k in 0..len0 {
+            let e = det.wheel[si][k];
+            let node = (e >> 32) as NodeId;
+            let arc = (e & 0xFFFF_FFFF) as usize;
+            let deadline = self.last_heard[arc].saturating_add(self.detector_window);
+            if deadline > round {
+                // Heard from since parking: re-park at the new deadline
+                // (same-slot pushes land past `len0` and are not re-read).
+                let slot = (deadline % wheel_len) as usize;
+                det.wheel[slot].push(e);
+                continue;
+            }
+            // Due. The entry leaves the wheel either way: a suspicion
+            // stops monitoring until rehabilitation, and an unmonitored
+            // arc (owner dead / neighbor already excised) is re-armed by
+            // whichever heal/restart/arrival path resumes monitoring.
+            det.clear_in_wheel(arc);
+            if !self.alive_node[node as usize] {
+                continue;
+            }
+            let base = self.graph.arc_base(node);
+            let blen = self.believed_len[node as usize] as usize;
+            let j = self.graph.neighbors(node)[arc - base];
+            if self.believed_flat[base..base + blen]
+                .binary_search(&j)
+                .is_err()
+            {
+                continue;
+            }
+            det.due.push(e);
+        }
+        det.wheel[si].drain(..len0);
+        // The legacy scan walked each believed list backwards: node
+        // ascending, neighbor (≡ arc, lists are sorted) descending.
+        det.due
+            .sort_unstable_by(|a, b| (a >> 32).cmp(&(b >> 32)).then(b.cmp(a)));
     }
 
     /// End-of-round silence scan (timeout mode): every alive node drops
     /// each believed neighbor it has not heard from for `window` rounds.
     /// Suspicion is one-directional and purely local — under delay or
-    /// loss it can be wrong, which is the point.
+    /// loss it can be wrong, which is the point. O(due + arrivals), not
+    /// O(believed arcs): see [`DetectorPart`].
     fn scan_silence(&mut self) {
         let round = self.round;
-        let window = self.detector_window;
-        for i in 0..self.graph.len() as NodeId {
-            if !self.alive_node[i as usize] {
-                continue;
-            }
-            let base = self.graph.arc_base(i);
-            // Walk backwards: removing entry `slot` only shifts entries
-            // after it, which are already visited.
-            let mut slot = self.believed_len[i as usize] as usize;
-            while slot > 0 {
-                slot -= 1;
-                let j = self.believed_flat[base + slot];
-                let arc = base
-                    + self
-                        .graph
-                        .neighbor_slot(i, j)
-                        .expect("believed list holds a non-neighbor");
-                if round - self.last_heard[arc] >= window {
-                    self.remove_believed(i, j);
-                    self.suspected_arcs[arc / 64] |= 1 << (arc % 64);
-                    self.stats.suspected += 1;
-                    self.record(Event::NodeSuspected {
-                        round,
-                        node: i,
-                        neighbor: j,
-                    });
-                    self.protocol.on_suspect(i, j);
-                }
-            }
+        let mut det = std::mem::take(&mut self.det[0]);
+        self.collect_due(&mut det, round);
+        for k in 0..det.due.len() {
+            let e = det.due[k];
+            let i = (e >> 32) as NodeId;
+            let arc = (e & 0xFFFF_FFFF) as usize;
+            let j = self.graph.neighbors(i)[arc - self.graph.arc_base(i)];
+            self.remove_believed(i, j);
+            det.set_suspected(arc);
+            det.suspects_insert(e);
+            self.stats.suspected += 1;
+            self.record(Event::NodeSuspected {
+                round,
+                node: i,
+                neighbor: j,
+            });
+            self.protocol.on_suspect(i, j);
         }
+        self.det[0] = det;
     }
 
     /// End-of-round probe fan-out (timeout mode): every alive node sends
@@ -880,29 +1327,32 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// stands. Probes ride the same delay model as payload messages but
     /// carry no protocol state.
     fn send_probes(&mut self) {
-        if self.suspected_arcs.iter().all(|&w| w == 0) {
+        if self.det[0].suspects.is_empty() {
             return;
         }
         let nbuckets = self.probe_ring.len() as u64;
-        for i in 0..self.graph.len() as NodeId {
+        // The suspect list is sorted by packed (node, arc) — exactly the
+        // node-ascending, adjacency-slot-ascending order of the old
+        // full-bitmask sweep, so the per-probe delay draws replay
+        // identically.
+        let mut k = 0;
+        while k < self.det[0].suspects.len() {
+            let e = self.det[0].suspects[k];
+            k += 1;
+            let i = (e >> 32) as NodeId;
             if !self.alive_node[i as usize] {
                 continue;
             }
-            let base = self.graph.arc_base(i);
-            for (slot, &j) in self.graph.neighbors(i).iter().enumerate() {
-                let arc = base + slot;
-                if self.suspected_arcs[arc / 64] & (1 << (arc % 64)) == 0 {
-                    continue;
-                }
-                // Probes issue at the end of round `r`, so a delay-`d`
-                // probe is due at the start of round `r + 1 + d`; the
-                // arrival rounds `r+1 ..= r+len` map onto distinct ring
-                // slots, each drained before it can be refilled.
-                let d = self.delay.sample(&mut self.fault_rng);
-                let due = ((self.round + 1 + d) % nbuckets) as usize;
-                self.probe_ring[due].push((i, j));
-                self.stats.probes_sent += 1;
-            }
+            let arc = (e & 0xFFFF_FFFF) as usize;
+            let j = self.graph.neighbors(i)[arc - self.graph.arc_base(i)];
+            // Probes issue at the end of round `r`, so a delay-`d`
+            // probe is due at the start of round `r + 1 + d`; the
+            // arrival rounds `r+1 ..= r+len` map onto distinct ring
+            // slots, each drained before it can be refilled.
+            let d = self.delay.sample(&mut self.fault_rng);
+            let due = ((self.round + 1 + d) % nbuckets) as usize;
+            self.probe_ring[due].push((i, j));
+            self.stats.probes_sent += 1;
         }
     }
 
@@ -950,6 +1400,10 @@ impl<'g, P: Protocol> Simulator<'g, P> {
 
     /// Execute one round (synchronous) or `n` activations (asynchronous).
     pub fn step(&mut self) {
+        if self.partitions > 1 {
+            self.step_partitioned();
+            return;
+        }
         self.fire_scheduled_faults();
         self.deliver_detections();
         if self.detector_timeout {
@@ -1075,6 +1529,338 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             }
             self.protocol.reclaim(msg);
         }
+    }
+
+    // ----- partitioned round engine ------------------------------------
+    //
+    // One round with `partitions = P ≥ 2`: sequential fault bookkeeping
+    // brackets barrier-separated per-partition phases. Every phase is a
+    // pure function of `(seed, partition)` — per-partition RNG streams,
+    // fixed lane merge order — so the result is byte-identical whether
+    // the phases run on one thread or sixteen. Determinism is keyed on
+    // the partition count, never on the thread count.
+
+    /// One round under the partitioned engine.
+    fn step_partitioned(&mut self) {
+        self.fire_scheduled_faults();
+        self.deliver_detections();
+        if self.detector_timeout {
+            self.par_run(Self::par_deliver_probes);
+        }
+        self.par_run(Self::par_send);
+        self.par_run(Self::par_deliver);
+        self.par_run(Self::par_reply);
+        if self.detector_timeout {
+            self.par_run(Self::par_scan);
+        }
+        self.merge_parts();
+        self.round += 1;
+        self.stats.rounds += 1;
+    }
+
+    /// Run `phase(self, p)` for every partition — on the worker pool when
+    /// the protocol opted into parallel execution, inline otherwise.
+    /// Results are identical either way.
+    fn par_run(&mut self, phase: fn(&mut Self, usize)) {
+        let np = self.partitions;
+        if let Some(pool) = self.pool.take() {
+            let ptr = SendPtr(self as *mut Self);
+            pool.run(np, |p| {
+                // SAFETY: each phase function touches only state owned by
+                // its partition argument (parts[p], det[p], its lane
+                // row/column, partition-contiguous ranges of the believed
+                // lists and last_heard, and — per the PARALLEL_SAFE
+                // contract — partition-owned protocol state), plus shared
+                // state that is read-only during parallel phases (graph,
+                // plan, alive/dead masks, schedule cursors of own nodes).
+                // The pool guarantees the phase is fully retired before
+                // `run` returns, so these aliased `&mut`s never overlap
+                // in time with the caller's exclusive use.
+                let sim = unsafe { &mut *ptr.get() };
+                phase(sim, p);
+            });
+            self.pool = Some(pool);
+        } else {
+            for p in 0..np {
+                phase(self, p);
+            }
+        }
+    }
+
+    /// Send phase for partition `p`: node order within the partition,
+    /// partner picks from `p`'s own schedule stream, outgoing messages
+    /// pushed onto the `(p, target-partition)` lane.
+    fn par_send(&mut self, p: usize) {
+        let np = self.partitions;
+        let round = self.round;
+        let trace_on = self.trace.is_some();
+        let (ns, ne) = (self.parts[p].node_start, self.parts[p].node_end);
+        for i in ns..ne {
+            if !self.alive_node[i as usize] {
+                continue;
+            }
+            let base = self.graph.arc_base(i);
+            let alive = &self.believed_flat[base..base + self.believed_len[i as usize] as usize];
+            let target = self.schedule.pick(i, alive, &mut self.parts[p].sched_rng);
+            let Some(target) = target else { continue };
+            let msg = self.protocol.part_send(p, i, target);
+            self.parts[p].stats.sent += 1;
+            if trace_on {
+                self.parts[p].events.push(Event::Sent {
+                    round,
+                    src: i,
+                    dst: target,
+                });
+            }
+            let q = self.part_of(target);
+            self.lanes[p * np + q].push((i, target, msg));
+        }
+    }
+
+    /// Deliver phase for partition `q`: drain lane column `q` in
+    /// ascending source-partition order — the fixed merge order that
+    /// makes `q`'s fault-stream draws (and therefore everything
+    /// downstream) independent of which thread ran which send phase.
+    /// Replies are collected onto the reply lanes for the next phase
+    /// instead of being delivered inline.
+    fn par_deliver(&mut self, q: usize) {
+        let np = self.partitions;
+        let round = self.round;
+        let clean = !self.physical_faults
+            && self.plan.msg_loss_prob <= 0.0
+            && self.plan.bit_flip_prob <= 0.0;
+        const LOOKAHEAD: usize = 8;
+        for p in 0..np {
+            let li = p * np + q;
+            let mut lane = std::mem::take(&mut self.lanes[li]);
+            for k in 0..lane.len() {
+                if let Some(ahead) = lane.get(k + LOOKAHEAD) {
+                    self.protocol.prewarm(ahead.1, ahead.0);
+                }
+                let entry = &mut lane[k];
+                let (src, dst) = (entry.0, entry.1);
+                if clean || self.transit_part(q, src, dst, &mut entry.2) {
+                    if self.detector_timeout {
+                        self.note_arrival_part(q, dst, src);
+                    }
+                    self.protocol.part_receive(q, dst, src, &mut entry.2);
+                    self.note_delivery_part(q, src, dst);
+                    if let Some(reply) = self.protocol.part_reply(q, dst, src) {
+                        self.parts[q].stats.sent += 1;
+                        if self.trace.is_some() {
+                            self.parts[q].events.push(Event::Sent {
+                                round,
+                                src: dst,
+                                dst: src,
+                            });
+                        }
+                        self.reply_lanes[q * np + p].push((dst, src, reply));
+                    }
+                }
+            }
+            for (_, _, msg) in lane.drain(..) {
+                self.protocol.part_reclaim(q, msg);
+            }
+            self.lanes[li] = lane;
+        }
+    }
+
+    /// Reply phase for partition `p`: drain reply-lane column `p` in
+    /// ascending replier-partition order and deliver the push-pull
+    /// responses back to `p`'s nodes.
+    fn par_reply(&mut self, p: usize) {
+        let np = self.partitions;
+        for q in 0..np {
+            let li = q * np + p;
+            let mut lane = std::mem::take(&mut self.reply_lanes[li]);
+            for entry in lane.iter_mut() {
+                let (replier, to) = (entry.0, entry.1);
+                if self.transit_part(p, replier, to, &mut entry.2) {
+                    if self.detector_timeout {
+                        self.note_arrival_part(p, to, replier);
+                    }
+                    self.protocol.part_receive(p, to, replier, &mut entry.2);
+                    self.note_delivery_part(p, replier, to);
+                }
+            }
+            for (_, _, msg) in lane.drain(..) {
+                self.protocol.part_reclaim(p, msg);
+            }
+            self.reply_lanes[li] = lane;
+        }
+    }
+
+    /// Start-of-round probe delivery for partition `q` (timeout mode):
+    /// same merge discipline as [`par_deliver`](Self::par_deliver), pure
+    /// detector bookkeeping like the classic
+    /// [`deliver_probes`](Self::deliver_probes).
+    fn par_deliver_probes(&mut self, q: usize) {
+        let np = self.partitions;
+        for p in 0..np {
+            let li = p * np + q;
+            let mut lane = std::mem::take(&mut self.probe_lanes[li]);
+            for &(src, dst) in &lane {
+                if self.physical_faults
+                    && (!self.alive_node[src as usize]
+                        || !self.alive_node[dst as usize]
+                        || self.arc_is_dead(src, dst))
+                {
+                    continue;
+                }
+                if self.plan.msg_loss_prob > 0.0
+                    && self.parts[q].fault_rng.random::<f64>() < self.plan.msg_loss_prob
+                {
+                    continue;
+                }
+                self.note_arrival_part(q, dst, src);
+            }
+            lane.clear();
+            self.probe_lanes[li] = lane;
+        }
+    }
+
+    /// End-of-round detector scan + probe fan-out for partition `p`
+    /// (timeout mode): the wheel scan of [`scan_silence`]
+    /// (Self::scan_silence) over `p`'s arcs, with stats/events buffered
+    /// per partition; probes go out on the probe lanes (zero delay — all
+    /// due next round).
+    fn par_scan(&mut self, p: usize) {
+        let round = self.round;
+        let np = self.partitions;
+        let mut det = std::mem::take(&mut self.det[p]);
+        self.collect_due(&mut det, round);
+        for k in 0..det.due.len() {
+            let e = det.due[k];
+            let i = (e >> 32) as NodeId;
+            let arc = (e & 0xFFFF_FFFF) as usize;
+            let j = self.graph.neighbors(i)[arc - self.graph.arc_base(i)];
+            self.remove_believed(i, j);
+            det.set_suspected(arc);
+            det.suspects_insert(e);
+            self.parts[p].stats.suspected += 1;
+            if self.trace.is_some() {
+                self.parts[p].events.push(Event::NodeSuspected {
+                    round,
+                    node: i,
+                    neighbor: j,
+                });
+            }
+            self.protocol.on_suspect(i, j);
+        }
+        for k in 0..det.suspects.len() {
+            let e = det.suspects[k];
+            let i = (e >> 32) as NodeId;
+            if !self.alive_node[i as usize] {
+                continue;
+            }
+            let arc = (e & 0xFFFF_FFFF) as usize;
+            let j = self.graph.neighbors(i)[arc - self.graph.arc_base(i)];
+            let q = self.part_of(j);
+            self.probe_lanes[p * np + q].push((i, j));
+            self.parts[p].stats.probes_sent += 1;
+        }
+        self.det[p] = det;
+    }
+
+    /// Partitioned-engine variant of [`transit`](Self::transit): draws
+    /// from partition `p`'s fault stream, counts into `p`'s buffers.
+    #[inline]
+    fn transit_part(&mut self, p: usize, src: NodeId, dst: NodeId, msg: &mut P::Msg) -> bool {
+        let round = self.round;
+        let trace_on = self.trace.is_some();
+        if self.physical_faults
+            && (!self.alive_node[src as usize]
+                || !self.alive_node[dst as usize]
+                || self.arc_is_dead(src, dst))
+        {
+            self.parts[p].stats.lost_dead += 1;
+            if trace_on {
+                self.parts[p]
+                    .events
+                    .push(Event::LostDead { round, src, dst });
+            }
+            return false;
+        }
+        if self.plan.msg_loss_prob > 0.0
+            && self.parts[p].fault_rng.random::<f64>() < self.plan.msg_loss_prob
+        {
+            self.parts[p].stats.lost_random += 1;
+            if trace_on {
+                self.parts[p]
+                    .events
+                    .push(Event::LostRandom { round, src, dst });
+            }
+            return false;
+        }
+        if self.plan.bit_flip_prob > 0.0
+            && self.parts[p].fault_rng.random::<f64>() < self.plan.bit_flip_prob
+        {
+            let bits = msg.corruptible_bits();
+            if bits > 0 {
+                let bit = self.parts[p].fault_rng.random_range(0..bits);
+                msg.flip_bit(bit);
+                self.parts[p].stats.bit_flips += 1;
+                if trace_on {
+                    self.parts[p].events.push(Event::BitFlipped {
+                        round,
+                        src,
+                        dst,
+                        bit,
+                    });
+                }
+            }
+        }
+        true
+    }
+
+    /// Partitioned-engine variant of
+    /// [`note_delivery`](Self::note_delivery). The link-load counter is
+    /// indexed by the *source* arc, which can belong to another
+    /// partition — but each `(src, dst)` arc appears in exactly one lane,
+    /// so the element is still touched by exactly one worker.
+    #[inline]
+    fn note_delivery_part(&mut self, p: usize, src: NodeId, dst: NodeId) {
+        self.parts[p].stats.delivered += 1;
+        if self.trace.is_some() {
+            let round = self.round;
+            self.parts[p]
+                .events
+                .push(Event::Delivered { round, src, dst });
+        }
+        if let Some(counts) = self.link_load.as_mut() {
+            if let Some(slot) = self.graph.neighbor_slot(src, dst) {
+                counts[self.graph.arc_base(src) + slot] += 1;
+            }
+        }
+    }
+
+    /// Sequential end-of-round merge: fold every partition's stats delta
+    /// and buffered trace events into the global sinks, in ascending
+    /// partition order. This fixed order is what pins the trace/report
+    /// bytes across thread counts.
+    fn merge_parts(&mut self) {
+        let parts = &mut self.parts;
+        if let Some(t) = self.trace.as_mut() {
+            for part in parts.iter_mut() {
+                for e in part.events.drain(..) {
+                    t.push(e);
+                }
+            }
+        } else {
+            for part in parts.iter_mut() {
+                part.events.clear();
+            }
+        }
+        for part in parts.iter_mut() {
+            let d = part.stats;
+            part.stats = SimStats::default();
+            self.stats.absorb(&d);
+        }
+    }
+
+    /// Resolved partition count (`1` = classic engine).
+    pub fn partitions(&self) -> usize {
+        self.partitions
     }
 
     /// Execute `rounds` rounds.

@@ -151,6 +151,17 @@ impl FlowBank {
     pub fn fill_zero(&mut self, arc: usize, field: usize) {
         self.slice_mut(arc, field).fill(0.0);
     }
+
+    /// Every field of arcs `arc0 .. arc0 + narcs` as one contiguous slice
+    /// (arc-major layout makes a node's arc range a single run). This is
+    /// the input the fused estimate kernels ([`sub_rows`],
+    /// [`sub_leading2_rows`]) stream over — one bounds check for the whole
+    /// neighborhood instead of one `slice()` per arc per field.
+    #[inline]
+    pub fn arc_rows(&self, arc0: usize, narcs: usize) -> &[f64] {
+        let o = arc0 * self.fields * self.dim;
+        &self.flat()[o..o + narcs * self.fields * self.dim]
+    }
 }
 
 /// `dst[k] += src[k]`.
@@ -190,6 +201,34 @@ pub(crate) fn sub_sum(dst: &mut [f64], a: &[f64], b: &[f64]) {
     debug_assert_eq!(dst.len(), b.len());
     for ((d, x), y) in dst.iter_mut().zip(a).zip(b) {
         *d -= *x + *y;
+    }
+}
+
+/// `dst -= row` for each `dst.len()`-sized row of `rows`, in row order —
+/// the fused form of a per-slot [`sub`] loop over a single-field bank
+/// (bit-identical: the same per-component subtractions in the same order,
+/// only the slice bookkeeping is hoisted).
+#[inline]
+pub(crate) fn sub_rows(dst: &mut [f64], rows: &[f64]) {
+    let dim = dst.len();
+    debug_assert_eq!(rows.len() % dim, 0);
+    for row in rows.chunks_exact(dim) {
+        sub(dst, row);
+    }
+}
+
+/// For each `fields * dst.len()`-sized arc group of `rows`, subtract the
+/// group's first two fields from `dst` in field order — the fused form of
+/// the per-slot `sub(F1); sub(F2)` estimate loop over a multi-field bank
+/// (bit-identical for the same reason as [`sub_rows`]).
+#[inline]
+pub(crate) fn sub_leading2_rows(dst: &mut [f64], rows: &[f64], fields: usize) {
+    let dim = dst.len();
+    debug_assert!(fields >= 2);
+    debug_assert_eq!(rows.len() % (fields * dim), 0);
+    for group in rows.chunks_exact(fields * dim) {
+        sub(dst, &group[..dim]);
+        sub(dst, &group[dim..2 * dim]);
     }
 }
 
@@ -261,5 +300,41 @@ mod tests {
     fn src_dst_rejects_aliasing() {
         let mut bank = FlowBank::new(1, 2, 2);
         let _ = bank.src_dst(0, 1, 1);
+    }
+
+    #[test]
+    fn fused_row_kernels_match_per_slot_loops() {
+        // Single-field bank: sub_rows over a 3-arc range must equal three
+        // per-slot subs, bitwise.
+        let mut bank = FlowBank::new(4, 1, 2);
+        for arc in 0..4 {
+            let v = (arc as f64 + 1.0) * 0.1;
+            bank.slice_mut(arc, 0).copy_from_slice(&[v, -v]);
+        }
+        let mut fused = [1.0, 2.0];
+        sub_rows(&mut fused, bank.arc_rows(1, 3));
+        let mut slow = [1.0, 2.0];
+        for arc in 1..4 {
+            sub(&mut slow, bank.slice(arc, 0));
+        }
+        assert_eq!(fused, slow);
+
+        // Multi-field bank: sub_leading2_rows must subtract exactly fields
+        // 0 and 1 of each arc, in slot order.
+        let mut bank = FlowBank::new(3, 4, 2);
+        for arc in 0..3 {
+            for field in 0..4 {
+                let v = (arc * 4 + field) as f64;
+                bank.slice_mut(arc, field).copy_from_slice(&[v, v + 0.5]);
+            }
+        }
+        let mut fused = [100.0, 200.0];
+        sub_leading2_rows(&mut fused, bank.arc_rows(0, 3), 4);
+        let mut slow = [100.0, 200.0];
+        for arc in 0..3 {
+            sub(&mut slow, bank.slice(arc, 0));
+            sub(&mut slow, bank.slice(arc, 1));
+        }
+        assert_eq!(fused, slow);
     }
 }

@@ -60,13 +60,14 @@ pub struct FlowUpdating<'g, P: Payload> {
     /// Last known estimate of the neighbor across each arc.
     nbr_est: Vec<P>,
     dim: usize,
-    /// Recycled wire buffers (fed by [`Protocol::reclaim`]).
-    pool: Vec<FuMsg<P>>,
-    /// Reused estimate / pairwise-average buffers for `on_send` — keep
-    /// heap-spilled payloads (dim above the inline cap) allocation-free
-    /// on the hot path.
-    scratch_e: P,
-    scratch_a: P,
+    /// Recycled wire buffers, one arena per engine partition (fed by
+    /// [`Protocol::reclaim`] / [`Protocol::part_reclaim`]).
+    pools: Vec<Vec<FuMsg<P>>>,
+    /// Reused estimate / pairwise-average buffers for `on_send`, one pair
+    /// per engine partition — keep heap-spilled payloads (dim above the
+    /// inline cap) allocation-free on the hot path.
+    scratch_e: Vec<P>,
+    scratch_a: Vec<P>,
 }
 
 impl<'g, P: Payload> FlowUpdating<'g, P> {
@@ -94,9 +95,9 @@ impl<'g, P: Payload> FlowUpdating<'g, P> {
             flows: vec![P::zeros(dim); arcs],
             nbr_est: vec![P::zeros(dim); arcs],
             dim,
-            pool: Vec::new(),
-            scratch_e: P::zeros(dim),
-            scratch_a: P::zeros(dim),
+            pools: vec![Vec::new()],
+            scratch_e: vec![P::zeros(dim)],
+            scratch_a: vec![P::zeros(dim)],
         }
     }
 
@@ -140,10 +141,9 @@ impl<'g, P: Payload> FlowUpdating<'g, P> {
     }
 }
 
-impl<'g, P: Payload> Protocol for FlowUpdating<'g, P> {
-    type Msg = FuMsg<P>;
-
-    fn on_send(&mut self, node: NodeId, target: NodeId) -> FuMsg<P> {
+impl<'g, P: Payload> FlowUpdating<'g, P> {
+    /// [`Protocol::on_send`] against partition `part`'s arenas.
+    fn send_impl(&mut self, part: usize, node: NodeId, target: NodeId) -> FuMsg<P> {
         // Pairwise flow update: compute the average `a` of my estimate and
         // my belief about the target's, then set the flow so that my value
         // becomes exactly `a` and (by antisymmetry) the target's would too.
@@ -155,9 +155,11 @@ impl<'g, P: Payload> Protocol for FlowUpdating<'g, P> {
             nbr_est,
             scratch_e,
             scratch_a,
-            pool,
+            pools,
             ..
         } = self;
+        let scratch_e = &mut scratch_e[part];
+        let scratch_a = &mut scratch_a[part];
         // e_i into the scratch buffer ([`Self::estimate_value`] with the
         // same operation order, minus the allocation).
         scratch_e.copy_from_components(init[node as usize].components());
@@ -176,7 +178,7 @@ impl<'g, P: Payload> Protocol for FlowUpdating<'g, P> {
         nbr_est[idx].copy_from_components(scratch_a.components());
         // Recycled buffers are fully overwritten, so the wire bytes are
         // identical to a freshly cloned message.
-        match pool.pop() {
+        match pools[part].pop() {
             Some(mut msg) => {
                 msg.flow.copy_from_components(flows[idx].components());
                 msg.estimate.copy_from_components(scratch_a.components());
@@ -187,6 +189,30 @@ impl<'g, P: Payload> Protocol for FlowUpdating<'g, P> {
                 estimate: scratch_a.clone(),
             },
         }
+    }
+}
+
+impl<'g, P: Payload> Protocol for FlowUpdating<'g, P> {
+    type Msg = FuMsg<P>;
+
+    // A send touches the sending node's arc range plus partition-indexed
+    // arenas; a receive swaps state on the receiving node's mirror arc.
+    // Failure hooks touch only the first argument's arcs.
+    const PARALLEL_SAFE: bool = true;
+
+    fn set_partitions(&mut self, partitions: usize) {
+        self.pools.resize_with(partitions, Vec::new);
+        let dim = self.dim;
+        self.scratch_e.resize_with(partitions, || P::zeros(dim));
+        self.scratch_a.resize_with(partitions, || P::zeros(dim));
+    }
+
+    fn on_send(&mut self, node: NodeId, target: NodeId) -> FuMsg<P> {
+        self.send_impl(0, node, target)
+    }
+
+    fn part_send(&mut self, part: usize, node: NodeId, target: NodeId) -> FuMsg<P> {
+        self.send_impl(part, node, target)
     }
 
     fn on_receive(&mut self, node: NodeId, from: NodeId, msg: &mut FuMsg<P>) {
@@ -199,7 +225,11 @@ impl<'g, P: Payload> Protocol for FlowUpdating<'g, P> {
     }
 
     fn reclaim(&mut self, msg: FuMsg<P>) {
-        self.pool.push(msg);
+        self.pools[0].push(msg);
+    }
+
+    fn part_reclaim(&mut self, part: usize, msg: FuMsg<P>) {
+        self.pools[part].push(msg);
     }
 
     fn on_link_failed(&mut self, node: NodeId, neighbor: NodeId) {

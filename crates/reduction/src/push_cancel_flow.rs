@@ -169,6 +169,20 @@ pub struct PcfStats {
     pub recancellations: u64,
 }
 
+impl PcfStats {
+    /// Componentwise sum — folds per-partition counter banks into one
+    /// run-level view.
+    fn absorb(&mut self, d: &PcfStats) {
+        self.cancellations += d.cancellations;
+        self.swaps += d.swaps;
+        self.rejected_messages += d.rejected_messages;
+        self.fold_resyncs += d.fold_resyncs;
+        self.ignored_messages += d.ignored_messages;
+        self.stale_rejected += d.stale_rejected;
+        self.recancellations += d.recancellations;
+    }
+}
+
 /// Bank field index of flow slot 1 (`f_{i,j,1}`).
 const F1: usize = 0;
 /// Bank field index of flow slot 2 (`f_{i,j,2}`).
@@ -278,12 +292,17 @@ pub struct PushCancelFlow<'g, P: Payload> {
     /// [`PushCancelFlow::with_guard`]).
     guard: Option<f64>,
     dim: usize,
-    stats: PcfStats,
-    /// Recycled wire buffers (fed by [`Protocol::reclaim`]).
-    pool: Vec<PcfMsg<P>>,
-    /// Reused estimate buffer for `on_send` — keeps heap-spilled payloads
-    /// (dim above the inline cap) allocation-free on the hot path.
-    scratch: Mass<P>,
+    /// Instrumentation counters, one bank per engine partition (a receive
+    /// counts into its receiver-partition bank; [`Self::stats`] folds the
+    /// banks). A single bank under the classic engine.
+    stats: Vec<PcfStats>,
+    /// Recycled wire buffers, one arena per engine partition (fed by
+    /// [`Protocol::reclaim`] / [`Protocol::part_reclaim`]).
+    pools: Vec<Vec<PcfMsg<P>>>,
+    /// Reused estimate buffers for `on_send`, one per engine partition —
+    /// keep heap-spilled payloads (dim above the inline cap)
+    /// allocation-free on the hot path.
+    scratches: Vec<Mass<P>>,
 }
 
 impl<'g, P: Payload> PushCancelFlow<'g, P> {
@@ -311,9 +330,9 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
             bank: FlowBank::new(arcs, FIELDS, dim),
             guard: None,
             dim,
-            stats: PcfStats::default(),
-            pool: Vec::new(),
-            scratch: Mass::zero(dim),
+            stats: vec![PcfStats::default()],
+            pools: vec![Vec::new()],
+            scratches: vec![Mass::zero(dim)],
         }
     }
 
@@ -351,9 +370,13 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
         self.mode
     }
 
-    /// Instrumentation counters.
+    /// Instrumentation counters (summed over the per-partition banks).
     pub fn stats(&self) -> PcfStats {
-        self.stats
+        let mut total = PcfStats::default();
+        for part in &self.stats {
+            total.absorb(part);
+        }
+        total
     }
 
     #[inline]
@@ -402,42 +425,56 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
         let mut e = node.init.clone();
         e.sub_assign(&node.phi);
         if self.mode == PhiMode::Hardened {
+            // Fused slice kernel over the node's contiguous arc-row range:
+            // per arc, subtract F1 then F2 in slot order — the same
+            // per-component operations in the same order as the former
+            // per-slot loop. Value components and the weight are
+            // independent accumulators, so splitting the weight into its
+            // own (order-preserving) loop is bit-identical too.
             let base = self.graph.arc_base(i);
-            for slot in 0..self.graph.degree(i) {
-                let idx = base + slot;
-                bank::sub(e.value.components_mut(), self.bank.slice(idx, F1));
-                e.weight -= self.ctl[idx].w[F1];
-                bank::sub(e.value.components_mut(), self.bank.slice(idx, F2));
-                e.weight -= self.ctl[idx].w[F2];
+            let deg = self.graph.degree(i);
+            bank::sub_leading2_rows(
+                e.value.components_mut(),
+                self.bank.arc_rows(base, deg),
+                FIELDS,
+            );
+            for s in &self.ctl[base..base + deg] {
+                e.weight -= s.w[F1];
+                e.weight -= s.w[F2];
             }
         }
         e
     }
 
-    /// [`Self::estimate_mass`] into the reused scratch buffer (same
-    /// operation order, so results are bit-identical) — the hot-path
-    /// variant that never allocates, whatever the payload dimension.
-    fn fill_scratch_estimate(&mut self, i: NodeId) {
+    /// [`Self::estimate_mass`] into partition `part`'s reused scratch
+    /// buffer (same operation order, so results are bit-identical) — the
+    /// hot-path variant that never allocates, whatever the payload
+    /// dimension.
+    fn fill_scratch_estimate(&mut self, part: usize, i: NodeId) {
         let PushCancelFlow {
             graph,
             mode,
             nodes,
             ctl,
             bank,
-            scratch,
+            scratches,
             ..
         } = self;
+        let scratch = &mut scratches[part];
         let node = &nodes[i as usize];
         scratch.copy_from(&node.init);
         scratch.sub_assign(&node.phi);
         if *mode == PhiMode::Hardened {
             let base = graph.arc_base(i);
-            for slot in 0..graph.degree(i) {
-                let idx = base + slot;
-                bank::sub(scratch.value.components_mut(), bank.slice(idx, F1));
-                scratch.weight -= ctl[idx].w[F1];
-                bank::sub(scratch.value.components_mut(), bank.slice(idx, F2));
-                scratch.weight -= ctl[idx].w[F2];
+            let deg = graph.degree(i);
+            bank::sub_leading2_rows(
+                scratch.value.components_mut(),
+                bank.arc_rows(base, deg),
+                FIELDS,
+            );
+            for s in &ctl[base..base + deg] {
+                scratch.weight -= s.w[F1];
+                scratch.weight -= s.w[F2];
             }
         }
     }
@@ -550,16 +587,15 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
     }
 }
 
-impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
-    type Msg = PcfMsg<P>;
-
-    fn on_send(&mut self, node: NodeId, target: NodeId) -> PcfMsg<P> {
+impl<'g, P: Payload> PushCancelFlow<'g, P> {
+    /// [`Protocol::on_send`] against partition `part`'s arenas.
+    fn send_impl(&mut self, part: usize, node: NodeId, target: NodeId) -> PcfMsg<P> {
         // Fig. 5 lines 30–33.
         let idx = self.arc(node, target);
-        self.fill_scratch_estimate(node);
-        self.scratch.scale(0.5);
+        self.fill_scratch_estimate(part, node);
+        self.scratches[part].scale(0.5);
         let eager = self.mode == PhiMode::Eager;
-        let mut msg = self.pool.pop().unwrap_or_else(|| PcfMsg {
+        let mut msg = self.pools[part].pop().unwrap_or_else(|| PcfMsg {
             f1: Mass::zero(self.dim),
             f2: Mass::zero(self.dim),
             c: 0,
@@ -572,10 +608,10 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
             nodes,
             ctl,
             bank,
-            scratch,
+            scratches,
             ..
         } = self;
-        let e = &*scratch;
+        let e = &scratches[part];
         let s = &mut ctl[idx];
         let act = act_idx(s.c);
         bank::add(bank.slice_mut(idx, act), e.value.components());
@@ -600,9 +636,38 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         msg.inc = s.inc;
         msg
     }
+}
+
+impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
+    type Msg = PcfMsg<P>;
+
+    // A send touches the sending node's arc row/control word and ϕ plus
+    // partition-indexed arenas (scratch, pool); a receive touches the
+    // receiving node's mirror arc, its ϕ, and its receiver-partition stats
+    // bank. Failure hooks fold only the first argument's arcs.
+    const PARALLEL_SAFE: bool = true;
+
+    fn set_partitions(&mut self, partitions: usize) {
+        self.pools.resize_with(partitions, Vec::new);
+        let dim = self.dim;
+        self.scratches.resize_with(partitions, || Mass::zero(dim));
+        self.stats.resize_with(partitions, PcfStats::default);
+    }
+
+    fn on_send(&mut self, node: NodeId, target: NodeId) -> PcfMsg<P> {
+        self.send_impl(0, node, target)
+    }
+
+    fn part_send(&mut self, part: usize, node: NodeId, target: NodeId) -> PcfMsg<P> {
+        self.send_impl(part, node, target)
+    }
 
     fn reclaim(&mut self, msg: PcfMsg<P>) {
-        self.pool.push(msg);
+        self.pools[0].push(msg);
+    }
+
+    fn part_reclaim(&mut self, part: usize, msg: PcfMsg<P>) {
+        self.pools[part].push(msg);
     }
 
     fn prewarm(&self, node: NodeId, from: NodeId) {
@@ -627,16 +692,39 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
     }
 
     fn on_receive(&mut self, node: NodeId, from: NodeId, msg: &mut PcfMsg<P>) {
+        self.receive_impl(0, node, from, msg)
+    }
+
+    fn part_receive(&mut self, part: usize, node: NodeId, from: NodeId, msg: &mut PcfMsg<P>) {
+        self.receive_impl(part, node, from, msg)
+    }
+
+    fn on_link_failed(&mut self, node: NodeId, neighbor: NodeId) {
+        self.link_failed_impl(node, neighbor)
+    }
+
+    fn on_restart(&mut self, node: NodeId) {
+        self.restart_impl(node)
+    }
+
+    fn on_neighbor_restarted(&mut self, node: NodeId, restarted: NodeId) {
+        self.neighbor_restarted_impl(node, restarted)
+    }
+}
+
+impl<'g, P: Payload> PushCancelFlow<'g, P> {
+    /// [`Protocol::on_receive`] against partition `part`'s arenas.
+    fn receive_impl(&mut self, part: usize, node: NodeId, from: NodeId, msg: &mut PcfMsg<P>) {
         // Fig. 5 lines 6–29 for one received tuple.
         if msg.c != 1 && msg.c != 2 {
             // Corrupted control field: no branch of the pseudocode is
             // meaningful; drop the message (the next clean exchange
             // supersedes it — same recovery as a lost message).
-            self.stats.rejected_messages += 1;
+            self.stats[part].rejected_messages += 1;
             return;
         }
         if msg.f1.dim() != self.dim || msg.f2.dim() != self.dim {
-            self.stats.rejected_messages += 1;
+            self.stats[part].rejected_messages += 1;
             return;
         }
         if !(self.mass_plausible(&msg.f1)
@@ -644,7 +732,7 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
             && self.mass_plausible(&msg.folded)
             && self.mass_plausible(&msg.base))
         {
-            self.stats.rejected_messages += 1;
+            self.stats[part].rejected_messages += 1;
             return;
         }
         let idx = self.arc(node, from);
@@ -662,6 +750,7 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
             stats,
             ..
         } = self;
+        let stats = &mut stats[part];
         let s = &mut ctl[idx];
         let phi = &mut nodes[i].phi;
 
@@ -828,7 +917,7 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         // else: we are ahead of the peer (r_{i,j} > r_{j,i}); wait for it.
     }
 
-    fn on_link_failed(&mut self, node: NodeId, neighbor: NodeId) {
+    fn link_failed_impl(&mut self, node: NodeId, neighbor: NodeId) {
         // Permanent-failure handling: "set the corresponding flow variables
         // to zero" — which in PCF means *folding* them: in eager mode ϕ
         // keeps their value (zeroing the slot is the fold), in hardened
@@ -865,7 +954,7 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         }
     }
 
-    fn on_restart(&mut self, node: NodeId) {
+    fn restart_impl(&mut self, node: NodeId) {
         // Rejoin with the retained initial data and no memory of past
         // flows: ϕ = 0 and every incident arc fresh at incarnation 1.
         // The node's pre-crash mass is *not* resurrected — the simulator
@@ -884,7 +973,7 @@ impl<'g, P: Payload> Protocol for PushCancelFlow<'g, P> {
         }
     }
 
-    fn on_neighbor_restarted(&mut self, node: NodeId, restarted: NodeId) {
+    fn neighbor_restarted_impl(&mut self, node: NodeId, restarted: NodeId) {
         // The peer came back blank at incarnation 1, so the wire fence
         // cannot re-sync us (our number is never lower): fold whatever
         // our half of the old pair still holds and meet the peer fresh.

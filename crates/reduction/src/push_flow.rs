@@ -47,11 +47,13 @@ pub struct PushFlow<'g, P: Payload> {
     /// [`PushFlow::with_compensated_estimates`]).
     compensated: bool,
     dim: usize,
-    /// Recycled wire buffers (fed by [`Protocol::reclaim`]).
-    pool: Vec<Mass<P>>,
-    /// Reused estimate buffer for `on_send` — keeps heap-spilled payloads
-    /// (dim above the inline cap) allocation-free on the hot path.
-    scratch: Mass<P>,
+    /// Recycled wire buffers, one arena per engine partition (fed by
+    /// [`Protocol::reclaim`] / [`Protocol::part_reclaim`]).
+    pools: Vec<Vec<Mass<P>>>,
+    /// Reused estimate buffers for `on_send`, one per engine partition —
+    /// keep heap-spilled payloads (dim above the inline cap)
+    /// allocation-free on the hot path.
+    scratches: Vec<Mass<P>>,
 }
 
 /// The bank's single field: the flow value vector.
@@ -74,8 +76,8 @@ impl<'g, P: Payload> PushFlow<'g, P> {
             guard: None,
             compensated: false,
             dim,
-            pool: Vec::new(),
-            scratch: Mass::zero(dim),
+            pools: vec![Vec::new()],
+            scratches: vec![Mass::zero(dim)],
         }
     }
 
@@ -155,9 +157,12 @@ impl<'g, P: Payload> PushFlow<'g, P> {
         let base = self.graph.arc_base(i);
         let deg = self.graph.degree(i);
         if !self.compensated {
+            // Fused slice kernel over the node's contiguous arc rows
+            // (single-field bank ⇒ one run) — same per-component
+            // subtractions in the same order as a per-slot loop.
             let mut e = self.init[i as usize].clone();
+            bank::sub_rows(e.value.components_mut(), self.bank.arc_rows(base, deg));
             for slot in 0..deg {
-                bank::sub(e.value.components_mut(), self.bank.slice(base + slot, FLOW));
                 e.weight -= self.flow_w[base + slot];
             }
             return e;
@@ -203,14 +208,15 @@ impl<'g, P: Payload> PushFlow<'g, P> {
 }
 
 impl<'g, P: Payload> PushFlow<'g, P> {
-    /// [`Self::estimate_mass`] into the reused scratch buffer (same
-    /// operation order, so results are bit-identical) — the hot-path
-    /// variant that never allocates, whatever the payload dimension.
-    /// The opt-in compensated mode still materialises a fresh estimate
-    /// (its Neumaier accumulators are not part of the hot-path claim).
-    fn fill_scratch_estimate(&mut self, i: NodeId) {
+    /// [`Self::estimate_mass`] into partition `part`'s reused scratch
+    /// buffer (same operation order, so results are bit-identical) — the
+    /// hot-path variant that never allocates, whatever the payload
+    /// dimension. The opt-in compensated mode still materialises a fresh
+    /// estimate (its Neumaier accumulators are not part of the hot-path
+    /// claim).
+    fn fill_scratch_estimate(&mut self, part: usize, i: NodeId) {
         if self.compensated {
-            self.scratch = self.estimate_mass(i);
+            self.scratches[part] = self.estimate_mass(i);
             return;
         }
         let PushFlow {
@@ -218,40 +224,62 @@ impl<'g, P: Payload> PushFlow<'g, P> {
             init,
             bank,
             flow_w,
-            scratch,
+            scratches,
             ..
         } = self;
+        let scratch = &mut scratches[part];
         let base = graph.arc_base(i);
+        let deg = graph.degree(i);
         scratch.copy_from(&init[i as usize]);
-        for slot in 0..graph.degree(i) {
-            bank::sub(
-                scratch.value.components_mut(),
-                bank.slice(base + slot, FLOW),
-            );
+        bank::sub_rows(scratch.value.components_mut(), bank.arc_rows(base, deg));
+        for slot in 0..deg {
             scratch.weight -= flow_w[base + slot];
         }
+    }
+
+    /// [`Protocol::on_send`] against partition `part`'s arenas.
+    fn send_impl(&mut self, part: usize, node: NodeId, target: NodeId) -> Mass<P> {
+        // Fig. 1 lines 8–11: e_i = v_i − Σf; f_{i,k} += e_i/2; send f_{i,k}.
+        self.fill_scratch_estimate(part, node);
+        self.scratches[part].scale(0.5);
+        let idx = self.arc(node, target);
+        bank::add(
+            self.bank.slice_mut(idx, FLOW),
+            self.scratches[part].value.components(),
+        );
+        self.flow_w[idx] += self.scratches[part].weight;
+        // Refill a recycled wire buffer (every field overwritten) instead
+        // of cloning the flow into a fresh allocation.
+        let mut msg = self.pools[part]
+            .pop()
+            .unwrap_or_else(|| Mass::zero(self.dim));
+        msg.value.copy_from_components(self.bank.slice(idx, FLOW));
+        msg.weight = self.flow_w[idx];
+        msg
     }
 }
 
 impl<'g, P: Payload> Protocol for PushFlow<'g, P> {
     type Msg = Mass<P>;
 
+    // A send touches the sending node's own arc rows / flow weights plus
+    // partition-indexed arenas (scratch estimate, wire-buffer pool); a
+    // receive touches the receiving node's mirror arc. Failure hooks
+    // touch only the first argument's arcs.
+    const PARALLEL_SAFE: bool = true;
+
+    fn set_partitions(&mut self, partitions: usize) {
+        self.pools.resize_with(partitions, Vec::new);
+        let dim = self.dim;
+        self.scratches.resize_with(partitions, || Mass::zero(dim));
+    }
+
     fn on_send(&mut self, node: NodeId, target: NodeId) -> Mass<P> {
-        // Fig. 1 lines 8–11: e_i = v_i − Σf; f_{i,k} += e_i/2; send f_{i,k}.
-        self.fill_scratch_estimate(node);
-        self.scratch.scale(0.5);
-        let idx = self.arc(node, target);
-        bank::add(
-            self.bank.slice_mut(idx, FLOW),
-            self.scratch.value.components(),
-        );
-        self.flow_w[idx] += self.scratch.weight;
-        // Refill a recycled wire buffer (every field overwritten) instead
-        // of cloning the flow into a fresh allocation.
-        let mut msg = self.pool.pop().unwrap_or_else(|| Mass::zero(self.dim));
-        msg.value.copy_from_components(self.bank.slice(idx, FLOW));
-        msg.weight = self.flow_w[idx];
-        msg
+        self.send_impl(0, node, target)
+    }
+
+    fn part_send(&mut self, part: usize, node: NodeId, target: NodeId) -> Mass<P> {
+        self.send_impl(part, node, target)
     }
 
     fn on_receive(&mut self, node: NodeId, from: NodeId, msg: &mut Mass<P>) {
@@ -268,7 +296,11 @@ impl<'g, P: Payload> Protocol for PushFlow<'g, P> {
     }
 
     fn reclaim(&mut self, msg: Mass<P>) {
-        self.pool.push(msg);
+        self.pools[0].push(msg);
+    }
+
+    fn part_reclaim(&mut self, part: usize, msg: Mass<P>) {
+        self.pools[part].push(msg);
     }
 
     fn on_link_failed(&mut self, node: NodeId, neighbor: NodeId) {

@@ -23,8 +23,10 @@ pub struct PushSum<P: Payload> {
     /// [`Protocol::on_restart`]).
     init: Vec<Mass<P>>,
     dim: usize,
-    /// Recycled wire buffers (fed by [`Protocol::reclaim`]).
-    pool: Vec<Mass<P>>,
+    /// Recycled wire buffers, one arena per engine partition (fed by
+    /// [`Protocol::reclaim`] / [`Protocol::part_reclaim`]; a single arena
+    /// under the classic engine).
+    pools: Vec<Vec<Mass<P>>>,
 }
 
 impl<P: Payload> PushSum<P> {
@@ -40,7 +42,23 @@ impl<P: Payload> PushSum<P> {
             init: mass.clone(),
             mass,
             dim: init.dim(),
-            pool: Vec::new(),
+            pools: vec![Vec::new()],
+        }
+    }
+
+    /// [`Protocol::on_send`] against partition `part`'s wire-buffer arena.
+    fn send_impl(&mut self, part: usize, node: NodeId) -> Mass<P> {
+        // Recycled buffers are fully overwritten, so the wire bytes are
+        // identical to a freshly cloned message.
+        let out = self.pools[part].pop();
+        let m = &mut self.mass[node as usize];
+        m.scale(0.5);
+        match out {
+            Some(mut buf) => {
+                buf.copy_from(m);
+                buf
+            }
+            None => m.clone(),
         }
     }
 
@@ -63,19 +81,21 @@ impl<P: Payload> PushSum<P> {
 impl<P: Payload> Protocol for PushSum<P> {
     type Msg = Mass<P>;
 
+    // Per-partition arenas: the only non-node-owned state is the wire-
+    // buffer pool, kept as one arena per partition. Everything else a
+    // hook touches belongs to its `node`/first argument.
+    const PARALLEL_SAFE: bool = true;
+
+    fn set_partitions(&mut self, partitions: usize) {
+        self.pools.resize_with(partitions, Vec::new);
+    }
+
     fn on_send(&mut self, node: NodeId, _target: NodeId) -> Mass<P> {
-        // Recycled buffers are fully overwritten, so the wire bytes are
-        // identical to a freshly cloned message.
-        let out = self.pool.pop();
-        let m = &mut self.mass[node as usize];
-        m.scale(0.5);
-        match out {
-            Some(mut buf) => {
-                buf.copy_from(m);
-                buf
-            }
-            None => m.clone(),
-        }
+        self.send_impl(0, node)
+    }
+
+    fn part_send(&mut self, part: usize, node: NodeId, _target: NodeId) -> Mass<P> {
+        self.send_impl(part, node)
     }
 
     fn on_receive(&mut self, node: NodeId, _from: NodeId, msg: &mut Mass<P>) {
@@ -83,7 +103,11 @@ impl<P: Payload> Protocol for PushSum<P> {
     }
 
     fn reclaim(&mut self, msg: Mass<P>) {
-        self.pool.push(msg);
+        self.pools[0].push(msg);
+    }
+
+    fn part_reclaim(&mut self, part: usize, msg: Mass<P>) {
+        self.pools[part].push(msg);
     }
 
     // No `on_link_failed` override: push-sum has no failure handling.

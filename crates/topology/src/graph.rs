@@ -106,6 +106,48 @@ impl Graph {
         self.adj.len()
     }
 
+    /// Build a graph directly from validated CSR arrays, bypassing the
+    /// edge-list sort of [`GraphBuilder::build`]. This is the constructor
+    /// for the large-topology fast paths (million-node tori) where the
+    /// builder's `O(E log E)` sort and edge staging double peak memory.
+    ///
+    /// `offsets` must have length `n + 1`, start at 0, end at `adj.len()`
+    /// and be non-decreasing; every row of `adj` must be strictly
+    /// ascending, in range, and self-loop-free, and the adjacency relation
+    /// must be symmetric in total arc count (`adj.len()` even). Validation
+    /// is a single `O(V + E)` pass.
+    ///
+    /// # Panics
+    /// Panics if any of the invariants above is violated.
+    pub fn from_csr(offsets: Vec<usize>, adj: Vec<NodeId>) -> Graph {
+        assert!(!offsets.is_empty(), "offsets must have length n + 1");
+        let n = offsets.len() - 1;
+        assert!(n <= NodeId::MAX as usize, "too many nodes for u32 ids");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(offsets[n], adj.len(), "offsets must end at adj.len()");
+        assert!(
+            adj.len().is_multiple_of(2),
+            "arc count must be even (undirected graph)"
+        );
+        for i in 0..n {
+            assert!(
+                offsets[i] <= offsets[i + 1],
+                "offsets must be non-decreasing at node {i}"
+            );
+            let row = &adj[offsets[i]..offsets[i + 1]];
+            let mut prev: Option<NodeId> = None;
+            for &j in row {
+                assert!((j as usize) < n, "neighbor {j} out of range at node {i}");
+                assert_ne!(j as usize, i, "self-loop at node {i}");
+                if let Some(p) = prev {
+                    assert!(p < j, "row of node {i} not strictly ascending");
+                }
+                prev = Some(j);
+            }
+        }
+        Graph { offsets, adj }
+    }
+
     /// Graphviz DOT rendering (undirected), handy for debugging small
     /// topologies.
     pub fn to_dot(&self) -> String {
