@@ -49,6 +49,6 @@ pub use runner::{
     ScenarioResult, CHECK_EVERY,
 };
 pub use scenario::{
-    sanity_corpus, shard_corpus, stress_corpus, Lane, Scenario, TopologyKind, DEFAULT_SANITY_SEEDS,
-    DEFAULT_STRESS_SEEDS,
+    chaos_script, sanity_corpus, shard_corpus, stress_corpus, ChaosScript, Lane, Scenario,
+    TopologyKind, DEFAULT_SANITY_SEEDS, DEFAULT_STRESS_SEEDS,
 };

@@ -177,6 +177,16 @@ pub struct Scenario {
     /// Scheduled node restarts `(node, round)` — the crashed node rejoins
     /// with fresh initial state and must be counted exactly once.
     pub restarts: Crashes,
+    /// Gilbert–Elliott correlated-burst loss `(enter, exit, loss)` on top
+    /// of the i.i.d. model (`None` = off). The chain draws from its own
+    /// RNG stream, so turning it on never perturbs the i.i.d. draws.
+    pub burst: Option<(f64, f64, f64)>,
+    /// Scripted bidirectional network partitions `(members, round)` —
+    /// every link between the group and its complement dies at once.
+    pub net_partitions: Vec<(Vec<NodeId>, u64)>,
+    /// Scripted partition heals `(members, round)` — the group's severed
+    /// boundary links return to service.
+    pub net_partition_heals: Vec<(Vec<NodeId>, u64)>,
     /// Engine partition count (`0` = the classic single-partition
     /// engine). A value ≥ 2 opts into the partitioned round engine —
     /// synchronous activation, zero delay — and is part of the scenario's
@@ -205,6 +215,15 @@ impl Scenario {
         }
         for &(node, round) in &self.restarts {
             plan = plan.restart_node(node, round);
+        }
+        if let Some((enter, exit, loss)) = self.burst {
+            plan = plan.with_burst(enter, exit, loss);
+        }
+        for (members, round) in &self.net_partitions {
+            plan = plan.partition(members.clone(), *round);
+        }
+        for (members, round) in &self.net_partition_heals {
+            plan = plan.heal_partition(members.clone(), *round);
         }
         plan
     }
@@ -281,6 +300,17 @@ impl Scenario {
         if self.partitions != 0 {
             s.push_str(&format!("|parts={}", self.partitions));
         }
+        // Same discipline for the chaos fields (burst loss, scripted
+        // network partitions): pre-chaos fingerprints must not move.
+        if let Some(burst) = self.burst {
+            s.push_str(&format!("|burst={burst:?}"));
+        }
+        if !self.net_partitions.is_empty() {
+            s.push_str(&format!("|cuts={:?}", self.net_partitions));
+        }
+        if !self.net_partition_heals.is_empty() {
+            s.push_str(&format!("|cutheals={:?}", self.net_partition_heals));
+        }
         s
     }
 
@@ -298,17 +328,23 @@ impl Scenario {
         let heals = self.link_heals.iter().map(|&(_, _, r)| r);
         let crashes = self.crashes.iter().map(|&(_, r)| r);
         let restarts = self.restarts.iter().map(|&(_, r)| r);
+        let cuts = self.net_partitions.iter().map(|&(_, r)| r);
+        let cut_heals = self.net_partition_heals.iter().map(|&(_, r)| r);
         links
             .chain(heals)
             .chain(crashes)
             .chain(restarts)
+            .chain(cuts)
+            .chain(cut_heals)
             .max()
             .unwrap_or(0)
     }
 
     /// `true` if the plan contains scheduled (permanent) faults.
     pub fn has_scheduled_faults(&self) -> bool {
-        !self.link_failures.is_empty() || !self.crashes.is_empty()
+        !self.link_failures.is_empty()
+            || !self.crashes.is_empty()
+            || !self.net_partitions.is_empty()
     }
 }
 
@@ -368,6 +404,9 @@ fn base_scenario(
         link_heals: Vec::new(),
         crashes: Vec::new(),
         restarts: Vec::new(),
+        burst: None,
+        net_partitions: Vec::new(),
+        net_partition_heals: Vec::new(),
         partitions: 0,
     }
 }
@@ -557,6 +596,24 @@ pub fn stress_corpus(seeds: &[u64]) -> Vec<Scenario> {
         }
     }
 
+    // Chaos templates: the transport chaos layer's fault script replayed
+    // through netsim — correlated burst loss on top of i.i.d. drop, plus
+    // a scripted half/half partition that heals mid-run. The script comes
+    // from [`chaos_script`], the same function the `--mode chaos`
+    // transport leg feeds to `ChaosDelivery`, so the simulator and the
+    // real backends face the identical fault process shape and the lane
+    // can referee sim vs real.
+    let topology = TopologyKind::Hypercube(5);
+    let script = chaos_script(topology);
+    let template = format!("chaos/{}", topology.label());
+    for algorithm in algorithms {
+        for &seed in seeds {
+            let mut sc = base_scenario(Lane::Stress, template.clone(), topology, algorithm, seed);
+            script.apply(&mut sc);
+            corpus.push(sc);
+        }
+    }
+
     // Scale templates: the ROADMAP's "hypercube 8+, torus 16x16" item.
     // Larger topologies under a multi-fault plan (two link failures plus
     // one crash in the same run) and both payload shapes — scalar average
@@ -671,6 +728,83 @@ fn place_faults(
     }
 
     (link_failures, crashes)
+}
+
+/// Round at which the chaos script's partition cuts the topology in half.
+const CHAOS_CUT_AT: u64 = 200;
+/// Round at which the chaos script's partition heals.
+const CHAOS_HEAL_AT: u64 = 500;
+
+/// The chaos fault script: one fault-process shape, two injectors.
+///
+/// [`chaos_script`] is the single source of truth for what "chaos" means
+/// in this campaign — correlated Gilbert–Elliott burst loss composed with
+/// i.i.d. drop, plus one scripted bidirectional partition (the low half
+/// of the topology against the rest) that heals mid-run. The netsim
+/// `chaos/*` stress templates replay it through the simulator's
+/// [`FaultPlan`] ([`ChaosScript::apply`]); the `--mode chaos` lane feeds
+/// the same script to the real-transport chaos wrapper
+/// ([`ChaosScript::chaos_plan`]), so sim and real face the identical
+/// shape and the lane can referee one against the other.
+///
+/// The time unit translates per injector: netsim schedules in simulator
+/// *rounds*, the transport wrapper in per-endpoint delivery *ops* — the
+/// same numbers place the window early-mid run in both.
+#[derive(Clone, Debug)]
+pub struct ChaosScript {
+    /// i.i.d. per-message drop probability.
+    pub drop: f64,
+    /// Gilbert–Elliott `(enter, exit, loss)` burst parameters.
+    pub burst: (f64, f64, f64),
+    /// One side of the scripted cut (the complement is the other).
+    pub cut_members: Vec<NodeId>,
+    /// When the cut fires (netsim rounds / transport ops).
+    pub cut_at: u64,
+    /// When it heals.
+    pub heal_at: u64,
+}
+
+/// The campaign's chaos script for `topology`: 2% i.i.d. drop, bursts
+/// that average ~3.3 messages at 90% loss (steady-state bad fraction
+/// ≈ 6%), and the low half of the node range cut off from the rest over
+/// `[CHAOS_CUT_AT, CHAOS_HEAL_AT)`. On a hypercube the low half is a
+/// sub-hypercube, so both sides of the cut stay internally connected.
+pub fn chaos_script(topology: TopologyKind) -> ChaosScript {
+    let n = topology.nodes() as NodeId;
+    ChaosScript {
+        drop: 0.02,
+        burst: (0.02, 0.3, 0.9),
+        cut_members: (0..n / 2).collect(),
+        cut_at: CHAOS_CUT_AT,
+        heal_at: CHAOS_HEAL_AT,
+    }
+}
+
+impl ChaosScript {
+    /// Write the script into a scenario's fault fields (netsim injector).
+    pub fn apply(&self, sc: &mut Scenario) {
+        sc.loss = self.drop;
+        sc.burst = Some(self.burst);
+        sc.net_partitions = vec![(self.cut_members.clone(), self.cut_at)];
+        sc.net_partition_heals = vec![(self.cut_members.clone(), self.heal_at)];
+    }
+
+    /// The same script as a real-transport chaos plan (the `--mode chaos`
+    /// lane wraps every cluster endpoint in `ChaosDelivery` with this).
+    pub fn chaos_plan(&self, seed: u64) -> gr_transport::ChaosPlan {
+        gr_transport::ChaosPlan {
+            drop: self.drop,
+            burst_enter: self.burst.0,
+            burst_exit: self.burst.1,
+            burst_loss: self.burst.2,
+            cuts: vec![gr_transport::ChaosCut {
+                members: self.cut_members.clone(),
+                from_op: self.cut_at,
+                until_op: self.heal_at,
+            }],
+            ..gr_transport::ChaosPlan::none(seed)
+        }
+    }
 }
 
 /// The `k`-th of `n` deterministic shards of a corpus (`k` is 0-based),
@@ -924,6 +1058,68 @@ mod tests {
         let before = sc.hash();
         sc.partitions = 4;
         assert_ne!(sc.hash(), before);
+    }
+
+    #[test]
+    fn chaos_fields_are_hash_neutral_when_unset() {
+        // Every pre-chaos scenario's canonical encoding must stay
+        // byte-identical, or all committed fingerprints break.
+        for sc in sanity_corpus(&[1]).iter().chain(stress_corpus(&[1]).iter()) {
+            if sc.burst.is_none() && sc.net_partitions.is_empty() {
+                let c = sc.canonical();
+                assert!(!c.contains("burst="), "{c}");
+                assert!(!c.contains("cuts="), "{c}");
+                assert!(!c.contains("cutheals="), "{c}");
+            }
+        }
+        // And applying the script perturbs the fingerprint — the chaos
+        // fields are identity, not execution hints.
+        let mut sc = stress_corpus(&[1])[0].clone();
+        let before = sc.hash();
+        chaos_script(sc.topology).apply(&mut sc);
+        assert_ne!(sc.hash(), before);
+    }
+
+    #[test]
+    fn chaos_templates_replay_the_shared_script() {
+        let corpus = stress_corpus(&[1, 2, 3]);
+        let cases: Vec<_> = corpus
+            .iter()
+            .filter(|s| s.template == "chaos/hypercube5")
+            .collect();
+        assert_eq!(cases.len(), 12, "4 algorithms x 3 seeds");
+        let sc = cases[0];
+        assert_eq!(sc.burst, Some((0.02, 0.3, 0.9)));
+        assert_eq!(sc.net_partitions.len(), 1);
+        assert_eq!(sc.net_partitions[0].0, (0..16).collect::<Vec<NodeId>>());
+        assert_eq!(sc.net_partitions[0].1, CHAOS_CUT_AT);
+        assert_eq!(sc.net_partition_heals[0].1, CHAOS_HEAL_AT);
+        assert!(sc.has_scheduled_faults());
+        assert_eq!(sc.last_fault_round(), CHAOS_HEAL_AT);
+        assert_eq!(sc.validate(), Ok(()));
+        let plan = sc.fault_plan();
+        assert!(plan.burst.is_some());
+        assert_eq!(plan.partitions.len(), 1);
+        assert_eq!(plan.partition_heals.len(), 1);
+        // The transport-side plan mirrors the same script, members and
+        // window included — that is what makes the chaos lane a sim-vs-
+        // real referee rather than two unrelated fault setups.
+        let tplan = chaos_script(sc.topology).chaos_plan(7);
+        assert_eq!(
+            (
+                tplan.drop,
+                tplan.burst_enter,
+                tplan.burst_exit,
+                tplan.burst_loss
+            ),
+            (0.02, 0.02, 0.3, 0.9)
+        );
+        assert_eq!(tplan.cuts.len(), 1);
+        assert_eq!(tplan.cuts[0].members, sc.net_partitions[0].0);
+        assert_eq!(
+            (tplan.cuts[0].from_op, tplan.cuts[0].until_op),
+            (CHAOS_CUT_AT, CHAOS_HEAL_AT)
+        );
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! failure handling runs (for PF/PCF: flow variables for the dead link are
 //! excised). Detection may lag the physical fault.
 
-use gr_topology::NodeId;
+use crate::options::SimConfigError;
+use gr_topology::{Graph, NodeId};
 
 /// A payload the fault injector can corrupt bit-wise.
 ///
@@ -141,6 +142,54 @@ pub struct NodeRestart {
     pub at_round: u64,
 }
 
+/// A two-state Gilbert–Elliott correlated-loss process.
+///
+/// The chain advances once per in-transit message: in the *good* state it
+/// enters the *bad* state with probability `enter`; in the bad state it
+/// exits back with probability `exit` and, while bad, each message is
+/// dropped with probability `loss`. Mean burst length is `1/exit`
+/// messages. The chain draws from its own RNG stream
+/// ([`RngStream::Burst`](crate::RngStream::Burst)), so enabling it never
+/// perturbs the i.i.d. loss/flip draws — loss patterns compose instead of
+/// replacing each other, and existing golden hashes stay bit-exact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstModel {
+    /// Good → bad transition probability (per message).
+    pub enter: f64,
+    /// Bad → good transition probability (per message).
+    pub exit: f64,
+    /// Per-message drop probability while the chain is bad.
+    pub loss: f64,
+}
+
+/// A scripted bidirectional network partition: at `at_round` every link
+/// between `members` and the rest of the topology dies at once. The cut
+/// is symmetric (neither side can reach the other); links *inside* the
+/// group and inside its complement keep working.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetPartition {
+    /// The nodes on one side of the cut (the other side is the
+    /// complement). Which side is listed does not matter.
+    pub members: Vec<NodeId>,
+    /// Round at which the crossing links die.
+    pub at_round: u64,
+    /// Rounds until endpoints learn of the cut (per link, oracle
+    /// detector only — under a timeout detector, silence does the job).
+    pub detect_delay: u64,
+}
+
+/// The heal counterpart of [`NetPartition`]: every *severed* crossing
+/// link of the group returns to service and both endpoints re-admit each
+/// other. Links that died for another reason (scheduled link failure)
+/// heal too if they cross the cut — the heal restores the boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionHeal {
+    /// The group whose boundary heals (same convention as the cut).
+    pub members: Vec<NodeId>,
+    /// Round at which the crossing links carry messages again.
+    pub at_round: u64,
+}
+
 /// Everything that goes wrong during one simulation.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
@@ -148,6 +197,8 @@ pub struct FaultPlan {
     pub msg_loss_prob: f64,
     /// Per-message probability of a single uniformly-placed bit flip.
     pub bit_flip_prob: f64,
+    /// Correlated-burst loss on top of the i.i.d. model (`None` = off).
+    pub burst: Option<BurstModel>,
     /// Scheduled permanent link failures.
     pub link_failures: Vec<LinkFailure>,
     /// Scheduled node crashes.
@@ -156,6 +207,10 @@ pub struct FaultPlan {
     pub link_heals: Vec<LinkHeal>,
     /// Scheduled node restarts (a crashed node rejoins, state lost).
     pub node_restarts: Vec<NodeRestart>,
+    /// Scripted network partitions (a group's boundary links die).
+    pub partitions: Vec<NetPartition>,
+    /// Scripted partition heals (a group's boundary links return).
+    pub partition_heals: Vec<PartitionHeal>,
 }
 
 impl FaultPlan {
@@ -228,14 +283,99 @@ impl FaultPlan {
         self
     }
 
+    /// Turn on Gilbert–Elliott correlated-burst loss (composes with the
+    /// i.i.d. models — the chain runs on its own RNG stream).
+    pub fn with_burst(mut self, enter: f64, exit: f64, loss: f64) -> Self {
+        for (name, p) in [("enter", enter), ("exit", exit), ("loss", loss)] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "burst {name} probability {p} outside [0,1]"
+            );
+        }
+        self.burst = Some(BurstModel { enter, exit, loss });
+        self
+    }
+
+    /// Cut `group` off from the rest of the topology at `round` (every
+    /// crossing link dies, detected immediately under the oracle).
+    pub fn partition(mut self, group: Vec<NodeId>, round: u64) -> Self {
+        self.partitions.push(NetPartition {
+            members: group,
+            at_round: round,
+            detect_delay: 0,
+        });
+        self
+    }
+
+    /// Heal `group`'s boundary at `round` (every severed crossing link
+    /// returns to service).
+    pub fn heal_partition(mut self, group: Vec<NodeId>, round: u64) -> Self {
+        self.partition_heals.push(PartitionHeal {
+            members: group,
+            at_round: round,
+        });
+        self
+    }
+
     /// `true` if the plan contains no faults of any kind.
     pub fn is_failure_free(&self) -> bool {
         self.msg_loss_prob == 0.0
             && self.bit_flip_prob == 0.0
+            && self.burst.is_none()
             && self.link_failures.is_empty()
             && self.node_crashes.is_empty()
             && self.link_heals.is_empty()
             && self.node_restarts.is_empty()
+            && self.partitions.is_empty()
+            && self.partition_heals.is_empty()
+    }
+
+    /// Check every scheduled event against the topology: link events must
+    /// name real edges, node events (and partition members) real nodes.
+    /// Run by [`Simulator::try_with_options`](crate::Simulator::try_with_options)
+    /// so a typo'd plan is a typed [`SimConfigError`] at construction
+    /// time, not a silent no-op or a fire-time panic.
+    pub fn validate(&self, graph: &Graph) -> Result<(), SimConfigError> {
+        let nodes = graph.len();
+        let check_node = |node: NodeId| {
+            if (node as usize) < nodes {
+                Ok(())
+            } else {
+                Err(SimConfigError::FaultNodeOutOfRange { node, nodes })
+            }
+        };
+        let check_link = |a: NodeId, b: NodeId| {
+            check_node(a)?;
+            check_node(b)?;
+            if graph.has_edge(a, b) {
+                Ok(())
+            } else {
+                Err(SimConfigError::FaultLinkMissing { a, b })
+            }
+        };
+        for f in &self.link_failures {
+            check_link(f.a, f.b)?;
+        }
+        for h in &self.link_heals {
+            check_link(h.a, h.b)?;
+        }
+        for c in &self.node_crashes {
+            check_node(c.node)?;
+        }
+        for r in &self.node_restarts {
+            check_node(r.node)?;
+        }
+        for p in &self.partitions {
+            for &m in &p.members {
+                check_node(m)?;
+            }
+        }
+        for p in &self.partition_heals {
+            for &m in &p.members {
+                check_node(m)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -318,5 +458,72 @@ mod tests {
     #[should_panic(expected = "outside [0,1]")]
     fn bad_loss_probability() {
         let _ = FaultPlan::with_loss(1.5);
+    }
+
+    #[test]
+    fn burst_and_partition_builders() {
+        let p = FaultPlan::none()
+            .with_burst(0.05, 0.3, 0.9)
+            .partition(vec![0, 1], 10)
+            .heal_partition(vec![0, 1], 40);
+        assert_eq!(
+            p.burst,
+            Some(BurstModel {
+                enter: 0.05,
+                exit: 0.3,
+                loss: 0.9
+            })
+        );
+        assert_eq!(p.partitions[0].members, vec![0, 1]);
+        assert_eq!(p.partitions[0].at_round, 10);
+        assert_eq!(p.partition_heals[0].at_round, 40);
+        assert!(!p.is_failure_free());
+        assert!(!FaultPlan::none()
+            .with_burst(0.1, 0.5, 1.0)
+            .is_failure_free());
+        assert!(!FaultPlan::none().partition(vec![2], 1).is_failure_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "burst exit probability")]
+    fn bad_burst_probability() {
+        let _ = FaultPlan::none().with_burst(0.1, 1.5, 0.9);
+    }
+
+    #[test]
+    fn validate_checks_topology_bounds() {
+        let g = gr_topology::bus(3); // 0-1-2
+        assert_eq!(FaultPlan::none().validate(&g), Ok(()));
+        assert_eq!(FaultPlan::none().fail_link(0, 1, 5).validate(&g), Ok(()));
+        assert_eq!(
+            FaultPlan::none().fail_link(0, 2, 5).validate(&g),
+            Err(SimConfigError::FaultLinkMissing { a: 0, b: 2 })
+        );
+        assert_eq!(
+            FaultPlan::none().heal_link(1, 7, 5).validate(&g),
+            Err(SimConfigError::FaultNodeOutOfRange { node: 7, nodes: 3 })
+        );
+        assert_eq!(
+            FaultPlan::none().crash_node(3, 5).validate(&g),
+            Err(SimConfigError::FaultNodeOutOfRange { node: 3, nodes: 3 })
+        );
+        assert_eq!(
+            FaultPlan::none().restart_node(9, 5).validate(&g),
+            Err(SimConfigError::FaultNodeOutOfRange { node: 9, nodes: 3 })
+        );
+        assert_eq!(
+            FaultPlan::none().partition(vec![0, 5], 5).validate(&g),
+            Err(SimConfigError::FaultNodeOutOfRange { node: 5, nodes: 3 })
+        );
+        assert_eq!(
+            FaultPlan::none().heal_partition(vec![4], 5).validate(&g),
+            Err(SimConfigError::FaultNodeOutOfRange { node: 4, nodes: 3 })
+        );
+        // Display carries enough to act on.
+        let e = SimConfigError::FaultLinkMissing { a: 0, b: 2 };
+        assert!(e.to_string().contains("nonexistent link (0, 2)"));
+        let e = SimConfigError::FaultNodeOutOfRange { node: 9, nodes: 3 };
+        assert!(e.to_string().contains("node 9"));
+        assert!(e.to_string().contains("3 nodes"));
     }
 }

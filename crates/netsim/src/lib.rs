@@ -20,8 +20,8 @@
 //! The execution order within one round is fixed:
 //!
 //! 1. scheduled faults and repairs whose `at_round` equals the current
-//!    round fire, in the order: links die, nodes crash, links heal,
-//!    nodes restart;
+//!    round fire, in the order: links die, partition cuts fire, nodes
+//!    crash, links heal, partitions heal, nodes restart;
 //! 2. failure *detections* due this round are delivered to the protocol
 //!    ([`Protocol::on_link_failed`]) — detection may lag the fault by a
 //!    configurable delay, during which senders still address the dead
@@ -44,7 +44,10 @@ mod sim;
 mod trace;
 
 pub use delivery::{Delivery, RingDelivery};
-pub use faults::{Corrupt, FaultPlan, LinkFailure, LinkHeal, NodeCrash, NodeRestart};
+pub use faults::{
+    BurstModel, Corrupt, FaultPlan, LinkFailure, LinkHeal, NetPartition, NodeCrash, NodeRestart,
+    PartitionHeal,
+};
 pub use options::{Activation, DelayModel, DetectorModel, SimConfigError, SimOptions};
 pub use rng::{stream_rng, RngStream};
 pub use schedule::Schedule;

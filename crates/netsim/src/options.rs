@@ -121,6 +121,23 @@ pub enum SimConfigError {
     /// mailbox lanes are drained every round, so messages cannot stay in
     /// flight across rounds.
     PartitionedDelay,
+    /// A scheduled fault-plan event names a node outside the topology
+    /// (`node >= nodes`). Caught at construction time so a typo'd plan is
+    /// a typed error, not a silent no-op or a fire-time panic.
+    FaultNodeOutOfRange {
+        /// The offending node id.
+        node: gr_topology::NodeId,
+        /// The topology's node count.
+        nodes: usize,
+    },
+    /// A scheduled fault-plan event names a link `(a, b)` that is not an
+    /// edge of the topology.
+    FaultLinkMissing {
+        /// One endpoint.
+        a: gr_topology::NodeId,
+        /// Other endpoint.
+        b: gr_topology::NodeId,
+    },
 }
 
 impl std::fmt::Display for SimConfigError {
@@ -149,6 +166,15 @@ impl std::fmt::Display for SimConfigError {
                     f,
                     "the partitioned round engine (partitions >= 2) requires the zero-delay model"
                 )
+            }
+            SimConfigError::FaultNodeOutOfRange { node, nodes } => {
+                write!(
+                    f,
+                    "fault plan names node {node}, but the topology has {nodes} nodes"
+                )
+            }
+            SimConfigError::FaultLinkMissing { a, b } => {
+                write!(f, "fault plan names nonexistent link ({a}, {b})")
             }
         }
     }

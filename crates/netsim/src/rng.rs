@@ -36,6 +36,12 @@ pub enum RngStream {
     SchedulePart(u32),
     /// Fault coin flips for one partition of the partitioned engine.
     FaultsPart(u32),
+    /// The correlated-burst (Gilbert–Elliott) loss chain. Separate from
+    /// [`RngStream::Faults`] so enabling bursts never perturbs the i.i.d.
+    /// loss/flip draws — existing golden hashes stay bit-exact.
+    Burst,
+    /// Burst chain for one partition of the partitioned engine.
+    BurstPart(u32),
     /// Anything experiment-specific (run replication etc.).
     Aux(u64),
 }
@@ -48,6 +54,8 @@ impl RngStream {
             RngStream::Workload => 0x574f_524b, // "WORK"
             RngStream::SchedulePart(p) => 0x5350_0000_0000_0000 | u64::from(p), // "SP"
             RngStream::FaultsPart(p) => 0x4650_0000_0000_0000 | u64::from(p), // "FP"
+            RngStream::Burst => 0x4255_5253,    // "BURS"
+            RngStream::BurstPart(p) => 0x4250_0000_0000_0000 | u64::from(p), // "BP"
             RngStream::Aux(k) => 0xA000_0000_0000_0000 ^ k,
         }
     }
@@ -93,5 +101,20 @@ mod tests {
         let mut a = stream_rng(7, RngStream::Aux(0));
         let mut b = stream_rng(7, RngStream::Aux(1));
         assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn burst_stream_is_independent() {
+        // The burst chain must never replay (or perturb) the i.i.d. fault
+        // stream — that independence is what keeps golden hashes stable
+        // when a plan turns bursts on.
+        let mut f = stream_rng(42, RngStream::Faults);
+        let mut b = stream_rng(42, RngStream::Burst);
+        let xs: Vec<u64> = (0..8).map(|_| f.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(xs, ys);
+        let mut b0 = stream_rng(42, RngStream::BurstPart(0));
+        let mut b1 = stream_rng(42, RngStream::BurstPart(1));
+        assert_ne!(b0.random::<u64>(), b1.random::<u64>());
     }
 }

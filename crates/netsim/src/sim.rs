@@ -1,7 +1,10 @@
 //! The round-driven simulator core.
 
 use crate::delivery::RingDelivery;
-use crate::faults::{Corrupt, FaultPlan, LinkFailure, LinkHeal, NodeCrash, NodeRestart};
+use crate::faults::{
+    BurstModel, Corrupt, FaultPlan, LinkFailure, LinkHeal, NetPartition, NodeCrash, NodeRestart,
+    PartitionHeal,
+};
 use crate::options::{Activation, DelayModel, DetectorModel, SimConfigError, SimOptions};
 use crate::rng::{stream_rng, RngStream};
 use crate::schedule::Schedule;
@@ -191,6 +194,8 @@ pub struct SimStats {
     pub delivered: u64,
     /// Messages lost to the probabilistic loss model.
     pub lost_random: u64,
+    /// Messages lost to the correlated-burst chain (bad-state drops).
+    pub lost_burst: u64,
     /// Messages lost because the link or an endpoint was physically dead.
     pub lost_dead: u64,
     /// Bit flips injected.
@@ -211,6 +216,7 @@ impl SimStats {
         self.sent += d.sent;
         self.delivered += d.delivered;
         self.lost_random += d.lost_random;
+        self.lost_burst += d.lost_burst;
         self.lost_dead += d.lost_dead;
         self.bit_flips += d.bit_flips;
         self.suspected += d.suspected;
@@ -229,6 +235,12 @@ struct Part {
     node_end: NodeId,
     sched_rng: StdRng,
     fault_rng: StdRng,
+    /// Partition-local Gilbert–Elliott chain (stream
+    /// [`RngStream::BurstPart`]): each partition runs its own burst
+    /// process over its own deliveries, so the draws are a pure function
+    /// of `(seed, partition)` like every other per-partition stream.
+    burst_rng: StdRng,
+    burst_bad: bool,
     stats: SimStats,
     events: Vec<Event>,
 }
@@ -373,12 +385,14 @@ struct Detection {
 /// Snapshot a plan's scheduled events into fire-order queues. The sort is
 /// stable, so events sharing an `at_round` fire in plan order — exactly
 /// the order the old per-round scan produced.
-type EventQueues = (
-    Vec<LinkFailure>,
-    Vec<NodeCrash>,
-    Vec<LinkHeal>,
-    Vec<NodeRestart>,
-);
+struct EventQueues {
+    links: Vec<LinkFailure>,
+    crashes: Vec<NodeCrash>,
+    heals: Vec<LinkHeal>,
+    restarts: Vec<NodeRestart>,
+    cuts: Vec<NetPartition>,
+    cut_heals: Vec<PartitionHeal>,
+}
 
 fn sorted_queues(plan: &FaultPlan) -> EventQueues {
     let mut links = plan.link_failures.clone();
@@ -389,7 +403,18 @@ fn sorted_queues(plan: &FaultPlan) -> EventQueues {
     heals.sort_by_key(|h| h.at_round);
     let mut restarts = plan.node_restarts.clone();
     restarts.sort_by_key(|r| r.at_round);
-    (links, crashes, heals, restarts)
+    let mut cuts = plan.partitions.clone();
+    cuts.sort_by_key(|p| p.at_round);
+    let mut cut_heals = plan.partition_heals.clone();
+    cut_heals.sort_by_key(|p| p.at_round);
+    EventQueues {
+        links,
+        crashes,
+        heals,
+        restarts,
+        cuts,
+        cut_heals,
+    }
 }
 
 /// The simulator: drives a [`Protocol`] over a [`Graph`] under a
@@ -415,6 +440,12 @@ pub struct Simulator<'g, P: Protocol> {
     /// Scheduled node restarts, same discipline as `link_queue`.
     restart_queue: Vec<NodeRestart>,
     restart_cursor: usize,
+    /// Scripted partition cuts, same discipline as `link_queue`.
+    cut_queue: Vec<NetPartition>,
+    cut_cursor: usize,
+    /// Scripted partition heals, same discipline as `link_queue`.
+    cut_heal_queue: Vec<PartitionHeal>,
+    cut_heal_cursor: usize,
     round: u64,
     alive_node: Vec<bool>,
     /// Believed-alive neighbor lists (shrink on detection/suspicion, grow
@@ -433,6 +464,14 @@ pub struct Simulator<'g, P: Protocol> {
     /// False until the first crash or link death fires; lets `transit`
     /// skip every liveness check on the healthy path.
     physical_faults: bool,
+    /// The plan's burst model, copied out for branch-cheap access
+    /// (`None` keeps the clean fast path intact).
+    burst: Option<BurstModel>,
+    /// Gilbert–Elliott chain state + stream for the classic engine (the
+    /// partitioned engine keeps one per [`Part`]). The RNG exists even
+    /// with bursts off but is never drawn from then.
+    burst_rng: StdRng,
+    burst_bad: bool,
     /// Detections not yet delivered, kept sorted descending by
     /// `(round, node, neighbor)` so delivery pops due events off the end
     /// in deterministic order without a per-round sort or allocation.
@@ -559,13 +598,14 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         options: SimOptions,
     ) -> Result<Self, SimConfigError> {
         options.validate()?;
+        plan.validate(graph)?;
         let n = graph.len();
         let believed_flat: Vec<NodeId> = (0..n as NodeId)
             .flat_map(|i| graph.neighbors(i).iter().copied())
             .collect();
         let believed_len = (0..n as NodeId).map(|i| graph.degree(i) as u32).collect();
         let ring = RingDelivery::new(options.delay.max_delay());
-        let (link_queue, crash_queue, heal_queue, restart_queue) = sorted_queues(&plan);
+        let queues = sorted_queues(&plan);
         let (detector_timeout, detector_window) = match options.detector {
             DetectorModel::Oracle => (false, 0),
             DetectorModel::Timeout { window } => (true, window),
@@ -591,6 +631,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 node_end: part_starts[p + 1],
                 sched_rng: stream_rng(seed, RngStream::SchedulePart(p as u32)),
                 fault_rng: stream_rng(seed, RngStream::FaultsPart(p as u32)),
+                burst_rng: stream_rng(seed, RngStream::BurstPart(p as u32)),
+                burst_bad: false,
                 stats: SimStats::default(),
                 events: Vec::new(),
             })
@@ -642,6 +684,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         if partitions > 1 {
             protocol.set_partitions(partitions);
         }
+        let burst = plan.burst;
         Ok(Simulator {
             graph,
             protocol,
@@ -649,20 +692,27 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             schedule_rng: stream_rng(seed, RngStream::Schedule),
             fault_rng: stream_rng(seed, RngStream::Faults),
             plan,
-            link_queue,
+            link_queue: queues.links,
             link_cursor: 0,
-            crash_queue,
+            crash_queue: queues.crashes,
             crash_cursor: 0,
-            heal_queue,
+            heal_queue: queues.heals,
             heal_cursor: 0,
-            restart_queue,
+            restart_queue: queues.restarts,
             restart_cursor: 0,
+            cut_queue: queues.cuts,
+            cut_cursor: 0,
+            cut_heal_queue: queues.cut_heals,
+            cut_heal_cursor: 0,
             round: 0,
             alive_node: vec![true; n],
             believed_flat,
             believed_len,
             dead_arcs: vec![0; graph.arc_count().div_ceil(64)],
             physical_faults: false,
+            burst,
+            burst_rng: stream_rng(seed, RngStream::Burst),
+            burst_bad: false,
             pending_detections: Vec::new(),
             activation: options.activation,
             delay: options.delay,
@@ -883,12 +933,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             }
             debug_assert_eq!(f.at_round, round);
             self.link_cursor += 1;
-            assert!(
-                self.graph.has_edge(f.a, f.b),
-                "fault plan kills nonexistent link ({}, {})",
-                f.a,
-                f.b
-            );
+            // Edge existence was checked by `FaultPlan::validate` at
+            // construction time.
+            debug_assert!(self.graph.has_edge(f.a, f.b));
             self.record(Event::LinkFailed {
                 round,
                 a: f.a,
@@ -910,6 +957,17 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                     neighbor: f.a,
                 });
             }
+        }
+        // Partition cuts (after individual link failures: a cut is a batch
+        // of link deaths and fires with the same semantics).
+        while let Some(p) = self.cut_queue.get(self.cut_cursor) {
+            if p.at_round > round {
+                break;
+            }
+            debug_assert_eq!(p.at_round, round);
+            let p = p.clone();
+            self.cut_cursor += 1;
+            self.fire_partition(&p);
         }
         // Node crashes.
         while let Some(&c) = self.crash_queue.get(self.crash_cursor) {
@@ -946,6 +1004,17 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             self.heal_cursor += 1;
             self.fire_link_heal(h);
         }
+        // Partition heals (after individual link heals, mirroring the cut
+        // position in the fire order).
+        while let Some(p) = self.cut_heal_queue.get(self.cut_heal_cursor) {
+            if p.at_round > round {
+                break;
+            }
+            debug_assert_eq!(p.at_round, round);
+            let p = p.clone();
+            self.cut_heal_cursor += 1;
+            self.fire_partition_heal(&p);
+        }
         // Node restarts.
         while let Some(&r) = self.restart_queue.get(self.restart_cursor) {
             if r.at_round > round {
@@ -957,18 +1026,81 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         }
     }
 
+    /// Fire a scripted partition cut: every live link with exactly one
+    /// endpoint in the member set dies at once, each with its own
+    /// [`Event::LinkFailed`] and (oracle mode) per-link detections;
+    /// already-dead crossing links are skipped. A summary
+    /// [`Event::PartitionStarted`] closes the batch.
+    fn fire_partition(&mut self, p: &NetPartition) {
+        let round = self.round;
+        let mut in_group = vec![false; self.graph.len()];
+        for &m in &p.members {
+            in_group[m as usize] = true;
+        }
+        let graph = self.graph;
+        let mut cut = 0u32;
+        for &m in &p.members {
+            for &j in graph.neighbors(m) {
+                if in_group[j as usize] || self.arc_is_dead(m, j) {
+                    continue;
+                }
+                cut += 1;
+                self.record(Event::LinkFailed { round, a: m, b: j });
+                self.mark_link_dead(m, j);
+                if !self.detector_timeout {
+                    let at = round + p.detect_delay;
+                    self.push_detection(Detection {
+                        round: at,
+                        node: m,
+                        neighbor: j,
+                    });
+                    self.push_detection(Detection {
+                        round: at,
+                        node: j,
+                        neighbor: m,
+                    });
+                }
+            }
+        }
+        self.record(Event::PartitionStarted { round, cut });
+    }
+
+    /// Fire a scripted partition heal: every *severed* crossing link of
+    /// the member set returns to service via the ordinary per-link heal
+    /// path, then a summary [`Event::PartitionHealed`] closes the batch.
+    fn fire_partition_heal(&mut self, p: &PartitionHeal) {
+        let round = self.round;
+        let mut in_group = vec![false; self.graph.len()];
+        for &m in &p.members {
+            in_group[m as usize] = true;
+        }
+        let graph = self.graph;
+        let mut cut = 0u32;
+        for &m in &p.members {
+            for &j in graph.neighbors(m) {
+                if in_group[j as usize] || !self.arc_is_dead(m, j) {
+                    continue;
+                }
+                cut += 1;
+                self.fire_link_heal(LinkHeal {
+                    a: m,
+                    b: j,
+                    at_round: round,
+                });
+            }
+        }
+        self.record(Event::PartitionHealed { round, cut });
+    }
+
     /// Bring a failed link back: clear its dead bits, cancel any pending
     /// oracle detections for the pair, and re-admit each alive endpoint
     /// into the other's believed set (with the protocol's rehabilitation
     /// hook). Healing a link that never died is a no-op.
     fn fire_link_heal(&mut self, h: LinkHeal) {
         let round = self.round;
-        assert!(
-            self.graph.has_edge(h.a, h.b),
-            "fault plan heals nonexistent link ({}, {})",
-            h.a,
-            h.b
-        );
+        // Edge existence was checked by `FaultPlan::validate` at
+        // construction time.
+        debug_assert!(self.graph.has_edge(h.a, h.b));
         self.record(Event::LinkHealed {
             round,
             a: h.a,
@@ -1121,6 +1253,22 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             self.stats.lost_dead += 1;
             self.record(Event::LostDead { round, src, dst });
             return false;
+        }
+        if let Some(b) = self.burst {
+            // Advance the Gilbert–Elliott chain one message, then flip the
+            // drop coin only while in the bad state — all on the dedicated
+            // burst stream, so the i.i.d. draws below are untouched.
+            let u = self.burst_rng.random::<f64>();
+            self.burst_bad = if self.burst_bad {
+                u >= b.exit
+            } else {
+                u < b.enter
+            };
+            if self.burst_bad && self.burst_rng.random::<f64>() < b.loss {
+                self.stats.lost_burst += 1;
+                self.record(Event::LostBurst { round, src, dst });
+                return false;
+            }
         }
         if self.plan.msg_loss_prob > 0.0 && self.fault_rng.random::<f64>() < self.plan.msg_loss_prob
         {
@@ -1460,7 +1608,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         // faults, no probabilistic models) skips `transit` entirely.
         let clean = !self.physical_faults
             && self.plan.msg_loss_prob <= 0.0
-            && self.plan.bit_flip_prob <= 0.0;
+            && self.plan.bit_flip_prob <= 0.0
+            && self.burst.is_none();
         let mut batch = self.ring.take_slot(slot);
         // Receivers are in random order while the batch is walked
         // sequentially: warm the state a few deliveries ahead so the
@@ -1628,7 +1777,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         let round = self.round;
         let clean = !self.physical_faults
             && self.plan.msg_loss_prob <= 0.0
-            && self.plan.bit_flip_prob <= 0.0;
+            && self.plan.bit_flip_prob <= 0.0
+            && self.burst.is_none();
         const LOOKAHEAD: usize = 8;
         for p in 0..np {
             let li = p * np + q;
@@ -1781,6 +1931,22 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             }
             return false;
         }
+        if let Some(b) = self.burst {
+            let part = &mut self.parts[p];
+            let u = part.burst_rng.random::<f64>();
+            part.burst_bad = if part.burst_bad {
+                u >= b.exit
+            } else {
+                u < b.enter
+            };
+            if part.burst_bad && part.burst_rng.random::<f64>() < b.loss {
+                part.stats.lost_burst += 1;
+                if trace_on {
+                    part.events.push(Event::LostBurst { round, src, dst });
+                }
+                return false;
+            }
+        }
         if self.plan.msg_loss_prob > 0.0
             && self.parts[p].fault_rng.random::<f64>() < self.plan.msg_loss_prob
         {
@@ -1874,18 +2040,34 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// whose `at_round` is already past never fire; probabilistic loss and
     /// corruption switch immediately. Used to model fault episodes ("flip
     /// bits for 200 rounds, then run clean and watch recovery").
+    /// # Panics
+    /// Panics if the plan fails [`FaultPlan::validate`] against the
+    /// topology (same check `try_with_options` applies at construction).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        let (link_queue, crash_queue, heal_queue, restart_queue) = sorted_queues(&plan);
+        if let Err(e) = plan.validate(self.graph) {
+            panic!("{e}");
+        }
+        let queues = sorted_queues(&plan);
         // Skip events already in the past, preserving the "never fire"
         // contract; the cursors then only ever see current-round events.
-        self.link_cursor = link_queue.partition_point(|f| f.at_round < self.round);
-        self.crash_cursor = crash_queue.partition_point(|c| c.at_round < self.round);
-        self.heal_cursor = heal_queue.partition_point(|h| h.at_round < self.round);
-        self.restart_cursor = restart_queue.partition_point(|r| r.at_round < self.round);
-        self.link_queue = link_queue;
-        self.crash_queue = crash_queue;
-        self.heal_queue = heal_queue;
-        self.restart_queue = restart_queue;
+        self.link_cursor = queues.links.partition_point(|f| f.at_round < self.round);
+        self.crash_cursor = queues.crashes.partition_point(|c| c.at_round < self.round);
+        self.heal_cursor = queues.heals.partition_point(|h| h.at_round < self.round);
+        self.restart_cursor = queues.restarts.partition_point(|r| r.at_round < self.round);
+        self.cut_cursor = queues.cuts.partition_point(|p| p.at_round < self.round);
+        self.cut_heal_cursor = queues
+            .cut_heals
+            .partition_point(|p| p.at_round < self.round);
+        self.link_queue = queues.links;
+        self.crash_queue = queues.crashes;
+        self.heal_queue = queues.heals;
+        self.restart_queue = queues.restarts;
+        self.cut_queue = queues.cuts;
+        self.cut_heal_queue = queues.cut_heals;
+        // The burst RNG keeps its stream position and chain state across
+        // plan swaps: an episode that turns bursts off and back on
+        // resumes the same deterministic chain.
+        self.burst = plan.burst;
         self.plan = plan;
     }
 
@@ -2089,10 +2271,38 @@ mod tests {
     #[test]
     #[should_panic(expected = "nonexistent link")]
     fn plan_with_bogus_link_panics() {
+        // Caught by `FaultPlan::validate` at construction, long before the
+        // event would have fired.
         let g = bus(3); // 0-1-2; (0,2) is not an edge
         let plan = FaultPlan::none().fail_link(0, 2, 0);
-        let mut sim = Simulator::new(&g, Recorder::new(3), plan, 0);
-        sim.step();
+        let _ = Simulator::new(&g, Recorder::new(3), plan, 0);
+    }
+
+    #[test]
+    fn bogus_plans_are_typed_errors_at_construction() {
+        let g = bus(3);
+        let plan = FaultPlan::none().fail_link(0, 2, 7);
+        let err = Simulator::try_with_options(&g, Recorder::new(3), plan, 0, SimOptions::default())
+            .err()
+            .unwrap();
+        assert_eq!(err, SimConfigError::FaultLinkMissing { a: 0, b: 2 });
+        let plan = FaultPlan::none().crash_node(9, 7);
+        let err = Simulator::try_with_options(&g, Recorder::new(3), plan, 0, SimOptions::default())
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            SimConfigError::FaultNodeOutOfRange { node: 9, nodes: 3 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent link")]
+    fn set_fault_plan_validates_too() {
+        let g = bus(3);
+        let mut sim = Simulator::new(&g, Recorder::new(3), FaultPlan::none(), 0);
+        sim.run(2);
+        sim.set_fault_plan(FaultPlan::none().fail_link(0, 2, 5));
     }
 
     #[test]
@@ -2229,8 +2439,11 @@ mod tests {
                 Event::LinkHealed { .. }
                 | Event::NodeRestarted { .. }
                 | Event::NodeSuspected { .. }
-                | Event::NodeRehabilitated { .. } => {
-                    panic!("no heal/restart/suspicion scheduled: {e:?}")
+                | Event::NodeRehabilitated { .. }
+                | Event::LostBurst { .. }
+                | Event::PartitionStarted { .. }
+                | Event::PartitionHealed { .. } => {
+                    panic!("no heal/restart/suspicion/burst/cut scheduled: {e:?}")
                 }
             }
         }
@@ -2493,11 +2706,114 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "heals nonexistent link")]
+    #[should_panic(expected = "nonexistent link")]
     fn healing_a_non_edge_panics() {
+        // Construction-time validation (used to panic at fire time).
         let g = bus(3);
         let plan = FaultPlan::none().heal_link(0, 2, 1);
-        let mut sim = Simulator::new(&g, Recorder::new(3), plan, 0);
-        sim.run(3);
+        let _ = Simulator::new(&g, Recorder::new(3), plan, 0);
+    }
+
+    #[test]
+    fn burst_chain_drops_in_bursts() {
+        // enter=1, exit=0, loss=1: the chain goes bad on the very first
+        // message and stays there — everything is a burst loss, nothing
+        // an i.i.d. loss.
+        let g = ring(6);
+        let plan = FaultPlan::none().with_burst(1.0, 0.0, 1.0);
+        let mut sim = Simulator::new(&g, Recorder::new(6), plan, 5);
+        sim.enable_trace(1000);
+        sim.run(10);
+        assert_eq!(sim.stats().delivered, 0);
+        assert_eq!(sim.stats().lost_burst, 60);
+        assert_eq!(sim.stats().lost_random, 0);
+        assert!(sim
+            .trace()
+            .unwrap()
+            .events()
+            .any(|e| matches!(e, Event::LostBurst { .. })));
+    }
+
+    #[test]
+    fn burst_off_never_draws_from_burst_stream() {
+        // A plan without bursts must replay the exact delivered-from
+        // sequences of the pre-burst simulator: same seed, same i.i.d.
+        // loss, burst on-but-harmless (loss=0) vs. burst absent must
+        // diverge *only* through the burst stream, never the fault
+        // stream.
+        let g = complete(8);
+        let run = |plan: FaultPlan| {
+            let mut sim = Simulator::new(&g, Recorder::new(8), plan, 7);
+            sim.run(30);
+            (
+                sim.stats().lost_random,
+                sim.protocol()
+                    .received
+                    .iter()
+                    .map(|v| v.iter().map(|&(f, _)| f).collect::<Vec<_>>())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let plain = run(FaultPlan::with_loss(0.2));
+        let with_chain = run(FaultPlan::with_loss(0.2).with_burst(0.3, 0.2, 0.0));
+        // loss=0 bursts drop nothing and consume no fault-stream draws:
+        // the i.i.d. outcome is byte-identical.
+        assert_eq!(plain, with_chain);
+    }
+
+    #[test]
+    fn partition_cut_and_heal() {
+        let g = ring(6); // 0-1-2-3-4-5-0
+                         // Cut {0,1,2} off: crossing links (2,3) and (5,0) die at round 4,
+                         // heal at round 12.
+        let plan = FaultPlan::none()
+            .partition(vec![0, 1, 2], 4)
+            .heal_partition(vec![0, 1, 2], 12);
+        let mut sim = Simulator::new(&g, Recorder::new(6), plan, 9);
+        sim.enable_trace(10_000);
+        sim.run(8);
+        // During the cut: believed sets shrank on both sides of both
+        // crossing links, intra-group links untouched.
+        assert_eq!(sim.believed_alive(2), &[1]);
+        assert_eq!(sim.believed_alive(3), &[4]);
+        assert_eq!(sim.believed_alive(0), &[1]);
+        assert_eq!(sim.believed_alive(5), &[4]);
+        assert_eq!(sim.believed_alive(1), &[0, 2]);
+        let mut fl = sim.protocol().failed_links.clone();
+        fl.sort_unstable();
+        assert_eq!(fl, vec![(0, 5), (2, 3), (3, 2), (5, 0)]);
+        sim.run(12);
+        // After the heal: everything whole again, each endpoint
+        // rehabilitated once per severed link.
+        assert_eq!(sim.believed_alive(2), &[1, 3]);
+        assert_eq!(sim.believed_alive(0), &[1, 5]);
+        assert_eq!(sim.stats().rehabilitated, 4);
+        let trace = sim.trace().unwrap();
+        assert!(trace
+            .events()
+            .any(|e| matches!(e, Event::PartitionStarted { round: 4, cut: 2 })));
+        assert!(trace
+            .events()
+            .any(|e| matches!(e, Event::PartitionHealed { round: 12, cut: 2 })));
+        // Cross-cut traffic resumed after the heal.
+        assert!(trace.events().any(
+            |e| matches!(e, Event::Delivered { round, src: 3, dst: 2 } if *round > 12)
+                || matches!(e, Event::Delivered { round, src: 2, dst: 3 } if *round > 12)
+        ));
+    }
+
+    #[test]
+    fn partition_is_bidirectional_and_listing_side_is_irrelevant() {
+        let g = ring(6);
+        let run = |members: Vec<NodeId>| {
+            let plan = FaultPlan::none().partition(members, 3);
+            let mut sim = Simulator::new(&g, Recorder::new(6), plan, 2);
+            sim.run(10);
+            let believed: Vec<Vec<NodeId>> =
+                (0..6).map(|i| sim.believed_alive(i).to_vec()).collect();
+            (believed, sim.stats().sent)
+        };
+        // Cutting {0,1,2} severs the same two links as cutting {3,4,5}.
+        assert_eq!(run(vec![0, 1, 2]), run(vec![3, 4, 5]));
     }
 }

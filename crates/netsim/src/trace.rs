@@ -35,6 +35,16 @@ pub enum Event {
         /// Receiver.
         dst: NodeId,
     },
+    /// A message was dropped by the correlated-burst (Gilbert–Elliott)
+    /// loss chain while it was in its bad state.
+    LostBurst {
+        /// Round of the drop.
+        round: u64,
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+    },
     /// A message was dropped by the probabilistic loss model.
     LostRandom {
         /// Round of the drop.
@@ -124,6 +134,23 @@ pub enum Event {
         /// The rehabilitated neighbor.
         neighbor: NodeId,
     },
+    /// A scripted network partition fired: every link between the cut
+    /// group and the rest died at once (each one also records its own
+    /// [`Event::LinkFailed`]).
+    PartitionStarted {
+        /// Round the cut fired.
+        round: u64,
+        /// Number of links severed.
+        cut: u32,
+    },
+    /// A scripted partition healed: every severed crossing link returned
+    /// to service (each one also records its own [`Event::LinkHealed`]).
+    PartitionHealed {
+        /// Round the heal fired.
+        round: u64,
+        /// Number of links restored.
+        cut: u32,
+    },
 }
 
 impl Event {
@@ -132,6 +159,7 @@ impl Event {
         match *self {
             Event::Sent { round, .. }
             | Event::Delivered { round, .. }
+            | Event::LostBurst { round, .. }
             | Event::LostRandom { round, .. }
             | Event::LostDead { round, .. }
             | Event::BitFlipped { round, .. }
@@ -141,7 +169,9 @@ impl Event {
             | Event::LinkHealed { round, .. }
             | Event::NodeRestarted { round, .. }
             | Event::NodeSuspected { round, .. }
-            | Event::NodeRehabilitated { round, .. } => round,
+            | Event::NodeRehabilitated { round, .. }
+            | Event::PartitionStarted { round, .. }
+            | Event::PartitionHealed { round, .. } => round,
         }
     }
 }
@@ -348,5 +378,16 @@ mod tests {
             .round(),
             9
         );
+        assert_eq!(
+            Event::LostBurst {
+                round: 3,
+                src: 0,
+                dst: 1
+            }
+            .round(),
+            3
+        );
+        assert_eq!(Event::PartitionStarted { round: 5, cut: 8 }.round(), 5);
+        assert_eq!(Event::PartitionHealed { round: 7, cut: 8 }.round(), 7);
     }
 }

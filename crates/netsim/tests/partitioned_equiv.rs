@@ -158,6 +158,9 @@ fn faulty_plan() -> FaultPlan {
             node: 7,
             at_round: 80,
         }],
+        burst: None,
+        partitions: vec![],
+        partition_heals: vec![],
     }
 }
 

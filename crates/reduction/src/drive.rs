@@ -39,6 +39,10 @@ pub struct DriverStats {
     pub sent: u64,
     /// Messages drained and handed to `on_receive`.
     pub delivered: u64,
+    /// Neighbors the timeout detector declared silent (possibly falsely).
+    pub suspected: u64,
+    /// Suspected neighbors that proved alive again and were re-admitted.
+    pub rehabilitated: u64,
 }
 
 /// One node's event loop: a protocol instance plus the node identity and
@@ -49,6 +53,13 @@ pub struct NodeDriver<Pr: ReductionProtocol> {
     neighbors: Vec<NodeId>,
     rng: StdRng,
     stats: DriverStats,
+    /// Timeout-detector silence window in own iterations (`None`: off).
+    window: Option<u64>,
+    /// Iteration count at the last message from each neighbor (parallel
+    /// to `neighbors`; allocated only when the detector is armed).
+    last_heard: Vec<u64>,
+    /// Suspicion flag per neighbor (parallel to `neighbors`).
+    suspected: Vec<bool>,
 }
 
 impl<Pr: ReductionProtocol> NodeDriver<Pr> {
@@ -63,7 +74,45 @@ impl<Pr: ReductionProtocol> NodeDriver<Pr> {
             neighbors: graph.neighbors(node).to_vec(),
             rng: stream_rng(seed, RngStream::Aux(DRIVER_STREAM ^ u64::from(node))),
             stats: DriverStats::default(),
+            window: None,
+            last_heard: Vec::new(),
+            suspected: Vec::new(),
         }
+    }
+
+    /// Arm a genuine (non-oracle) timeout failure detector: a neighbor
+    /// that stays silent for more than `window` of this driver's *own*
+    /// iterations is suspected — [`Protocol::on_suspect`] runs (flow
+    /// protocols excise the edge and bump its incarnation) but the
+    /// neighbor **stays in the send rotation**. Keeping it addressed is
+    /// what makes the detector safe: a suspect that was merely slow — or
+    /// has restarted with fresh state — keeps receiving our messages
+    /// (which carry the bumped incarnation it must adopt), and the first
+    /// message it sends back rehabilitates it via
+    /// [`Protocol::on_rehabilitate`].
+    ///
+    /// # Panics
+    /// Panics if `window == 0` (every neighbor would be suspected before
+    /// its first message could arrive).
+    #[must_use]
+    pub fn with_timeout_detector(mut self, window: u64) -> Self {
+        assert!(window > 0, "detector window must be positive");
+        self.window = Some(window);
+        self.last_heard = vec![0; self.neighbors.len()];
+        self.suspected = vec![false; self.neighbors.len()];
+        self
+    }
+
+    /// `true` if the timeout detector currently suspects `neighbor`.
+    /// Always `false` when no detector is armed or `neighbor` is not
+    /// adjacent.
+    pub fn suspects(&self, neighbor: NodeId) -> bool {
+        self.window.is_some()
+            && self
+                .neighbors
+                .iter()
+                .position(|&n| n == neighbor)
+                .is_some_and(|slot| self.suspected[slot])
     }
 
     /// The node this driver animates.
@@ -97,6 +146,9 @@ impl<Pr: ReductionProtocol> NodeDriver<Pr> {
             self.proto.prewarm(self.node, from);
             self.proto.on_receive(self.node, from, &mut msg);
             self.proto.reclaim(msg);
+            if self.window.is_some() {
+                self.heard_from(from);
+            }
             if let Some(reply) = self.proto.reply(self.node, from) {
                 delivery.send(self.node, from, reply)?;
                 self.stats.sent += 1;
@@ -105,6 +157,21 @@ impl<Pr: ReductionProtocol> NodeDriver<Pr> {
         }
         self.stats.delivered += n as u64;
         Ok(n)
+    }
+
+    /// Detector bookkeeping for one arrival: refresh the silence clock
+    /// and rehabilitate the sender if it was under suspicion. Runs
+    /// *after* `on_receive`, so a flow protocol has already processed
+    /// any incarnation resync the message carried.
+    fn heard_from(&mut self, from: NodeId) {
+        if let Some(slot) = self.neighbors.iter().position(|&n| n == from) {
+            self.last_heard[slot] = self.stats.rounds;
+            if self.suspected[slot] {
+                self.suspected[slot] = false;
+                self.stats.rehabilitated += 1;
+                self.proto.on_rehabilitate(self.node, from);
+            }
+        }
     }
 
     /// One iteration of the paper's execution model for this node: drain
@@ -119,6 +186,15 @@ impl<Pr: ReductionProtocol> NodeDriver<Pr> {
             self.stats.sent += 1;
         }
         self.stats.rounds += 1;
+        if let Some(window) = self.window {
+            for slot in 0..self.neighbors.len() {
+                if !self.suspected[slot] && self.stats.rounds - self.last_heard[slot] > window {
+                    self.suspected[slot] = true;
+                    self.stats.suspected += 1;
+                    self.proto.on_suspect(self.node, self.neighbors[slot]);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -229,5 +305,87 @@ mod tests {
             "mass {mass} drifted from {total}"
         );
         assert!((weight - n as f64).abs() < 1e-9);
+    }
+
+    /// A false suspicion (the neighbor was merely paused) must be raised
+    /// after the silence window, cleared on the next arrival, and leave
+    /// the aggregate intact — the excise/bump + wire-resync path at work
+    /// without any oracle.
+    #[test]
+    fn timeout_detector_suspects_and_rehabilitates() {
+        let graph = gr_topology::bus(2);
+        let values = vec![10.0, -4.0];
+        let total: f64 = values.iter().sum();
+        let data = InitialData::with_kind(values, AggregateKind::Average);
+        let mut ring: RingDelivery<_> = RingDelivery::new(0);
+        let mut drivers: Vec<_> = (0..2)
+            .map(|i| {
+                NodeDriver::new(i, PushCancelFlow::new(&graph, &data), &graph, 11)
+                    .with_timeout_detector(4)
+            })
+            .collect();
+        // Warm up with both sides live: no suspicion.
+        for _ in 0..6 {
+            for d in drivers.iter_mut() {
+                d.step(&mut ring).unwrap();
+            }
+            ring.advance_round();
+        }
+        assert!(!drivers[0].suspects(1));
+        // Pause node 1 past node 0's window.
+        for _ in 0..7 {
+            drivers[0].step(&mut ring).unwrap();
+            ring.advance_round();
+        }
+        assert!(drivers[0].suspects(1));
+        assert_eq!(drivers[0].stats().suspected, 1);
+        // Resume node 1: its backlog drains, node 0 hears from it again.
+        for _ in 0..40 {
+            for d in drivers.iter_mut() {
+                d.step(&mut ring).unwrap();
+            }
+            ring.advance_round();
+        }
+        loop {
+            let mut moved = 0;
+            for d in drivers.iter_mut() {
+                moved += d.pump(&mut ring).unwrap();
+            }
+            if moved == 0 {
+                break;
+            }
+        }
+        assert!(!drivers[0].suspects(1));
+        assert_eq!(drivers[0].stats().rehabilitated, 1);
+        // The false alarm conserved mass and did not wreck convergence.
+        let mut buf = vec![0.0];
+        let (mut mass, mut weight) = (0.0, 0.0);
+        for d in drivers.iter() {
+            weight += d.write_mass(&mut buf);
+            mass += buf[0];
+        }
+        assert!(
+            (mass - total).abs() < 1e-9,
+            "mass {mass} drifted from {total} after false suspicion"
+        );
+        assert!((weight - 2.0).abs() < 1e-9);
+        for d in drivers.iter() {
+            d.write_estimate(&mut buf);
+            assert!(
+                (buf[0] - total / 2.0).abs() < 1e-6,
+                "node {} estimate {} after rehabilitation",
+                d.node(),
+                buf[0]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_detector_window_rejected() {
+        let graph = gr_topology::bus(2);
+        let data = InitialData::with_kind(vec![0.0, 0.0], AggregateKind::Average);
+        let _ = NodeDriver::new(0, PushCancelFlow::new(&graph, &data), &graph, 0)
+            .with_timeout_detector(0);
     }
 }

@@ -4,6 +4,12 @@
 //! transport-run [--backend mem|udp] [--hc 6] [--dim 1] [--seed 42]
 //!               [--target 1e-9] [--max-rounds 10000] [--capacity 4096]
 //!               [--wall-limit-ms 30000] [--json]
+//!               [--chaos] [--chaos-drop P] [--chaos-burst-enter P]
+//!               [--chaos-burst-exit P] [--chaos-burst-loss P]
+//!               [--chaos-dup P] [--chaos-corrupt P] [--chaos-delay P]
+//!               [--chaos-delay-ops K] [--cut-from OP --cut-until OP]
+//!               [--churn K] [--churn-at R] [--churn-down-ms MS]
+//!               [--detector-window W]
 //! ```
 //!
 //! Builds a `2^hc`-node hypercube, gives node `i` the initial value `i`
@@ -12,13 +18,24 @@
 //! backend, and reports wall-clock convergence time, per-node rounds and
 //! bytes-on-wire. `--json` emits the machine-readable report used for the
 //! committed `TRANSPORT_BASELINE.json` example artifact.
+//!
+//! `--chaos` wraps every endpoint in a seeded [`ChaosDelivery`] (default
+//! rates give a survivable beating; override any rate individually — the
+//! individual flags also work without `--chaos`). `--cut-from/--cut-until`
+//! scripts a partition of the low half of the nodes over that chaos-clock
+//! window. `--churn K` kills nodes `1..=K` mid-run and restarts them with
+//! purged state after `--churn-down-ms`; recovery is driven by the driver
+//! timeout detectors (`--detector-window`) plus PCF's incarnation fences,
+//! and convergence is judged by estimate spread + the self-consistency
+//! audit, since killed mass makes the prior reference void.
 
 use gr_experiments::Opts;
+use gr_netsim::Delivery;
 use gr_reduction::{AggregateKind, InitialData, Payload, PcfMsg, PushCancelFlow, WireMsg};
-use gr_topology::{hypercube, Graph};
+use gr_topology::{hypercube, Graph, NodeId};
 use gr_transport::{
-    mem_cluster, run_cluster, udp_cluster, validate_datagram, ClusterOptions, ClusterResult,
-    TransportError,
+    mem_cluster, run_cluster, udp_cluster, validate_datagram, ChaosCut, ChaosDelivery, ChaosPlan,
+    ClusterOptions, ClusterResult, TransportError, WireInstrumented,
 };
 use std::time::Duration;
 
@@ -38,7 +55,18 @@ struct Report {
     bytes_sent_total: u64,
     bytes_sent_per_node_mean: f64,
     dropped_total: u64,
+    /// Frames the chaos layer deliberately dropped (0 when chaos off).
+    drops: u64,
+    /// Extra copies injected by chaos duplication (0 when chaos off).
+    duplicates: u64,
+    /// Frames the chaos layer bit-flipped (0 when chaos off).
+    corrupted: u64,
+    /// Churn kills performed (0 when churn off).
+    churn_events: u64,
+    /// Restarts completed before the cluster stopped (0 when churn off).
+    recovered: u64,
     max_rel_error: f64,
+    self_consistency: f64,
     mass_weight: f64,
 }
 
@@ -48,6 +76,7 @@ fn run_payload<P: Payload + Sync>(
     dim: usize,
     opts: &ClusterOptions,
     capacity: usize,
+    chaos: Option<&ChaosPlan>,
 ) -> Result<(ClusterResult, usize), TransportError> {
     let n = graph.len();
     let values: Vec<P> = (0..n)
@@ -75,11 +104,45 @@ fn run_payload<P: Payload + Sync>(
         let _ = node;
         PushCancelFlow::new(graph, &data)
     };
+    // Monomorphization-friendly dispatch: each backend runs either bare or
+    // wrapped, so the chaos layer costs nothing when it is off.
+    fn launch<Pr, D>(
+        graph: &Graph,
+        eps: Vec<D>,
+        make: impl Fn(NodeId) -> Pr + Sync,
+        reference: &[f64],
+        opts: &ClusterOptions,
+        chaos: Option<&ChaosPlan>,
+    ) -> Result<ClusterResult, TransportError>
+    where
+        Pr: gr_reduction::ReductionProtocol + Send,
+        Pr::Msg: Send,
+        D: Delivery<Pr::Msg, Error = TransportError> + Send + WireInstrumented,
+    {
+        match chaos {
+            Some(plan) => {
+                let wrapped: Vec<_> = eps
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, ep)| ChaosDelivery::new(ep, i as NodeId, plan))
+                    .collect();
+                run_cluster(graph, wrapped, make, reference, opts)
+            }
+            None => run_cluster(graph, eps, make, reference, opts),
+        }
+    }
     let result = match backend {
-        "mem" => run_cluster(graph, mem_cluster(n, capacity)?, make, &reference, opts)?,
+        "mem" => launch(
+            graph,
+            mem_cluster(n, capacity)?,
+            make,
+            &reference,
+            opts,
+            chaos,
+        )?,
         "udp" => {
             validate_datagram(&sample)?;
-            run_cluster(graph, udp_cluster(n)?, make, &reference, opts)?
+            launch(graph, udp_cluster(n)?, make, &reference, opts, chaos)?
         }
         other => {
             eprintln!("unknown --backend {other:?} (expected mem or udp)");
@@ -100,20 +163,79 @@ fn main() {
     let capacity = o.u64("capacity", 4096) as usize;
     let wall_limit_ms = o.u64("wall-limit-ms", 30_000);
     let json = o.bool("json", false);
+    // Chaos: `--chaos` turns on a default beating; individual rates can
+    // be set with or without it (any nonzero rate/cut enables the layer).
+    let chaos_on = o.bool("chaos", false);
+    let drop = o.f64("chaos-drop", if chaos_on { 0.05 } else { 0.0 });
+    let burst_enter = o.f64("chaos-burst-enter", if chaos_on { 0.02 } else { 0.0 });
+    let burst_exit = o.f64("chaos-burst-exit", 0.25);
+    let burst_loss = o.f64("chaos-burst-loss", 0.9);
+    let duplicate = o.f64("chaos-dup", if chaos_on { 0.02 } else { 0.0 });
+    let corrupt = o.f64("chaos-corrupt", 0.0);
+    let delay = o.f64("chaos-delay", if chaos_on { 0.05 } else { 0.0 });
+    let delay_ops = o.u64("chaos-delay-ops", 8);
+    let cut_from = o.u64("cut-from", 0);
+    let cut_until = o.u64("cut-until", 0);
+    // Churn: kill nodes 1..=K (staggered), restart after the dark window.
+    let churn = o.u64("churn", 0);
+    let churn_at = o.u64("churn-at", 300);
+    let churn_down_ms = o.u64("churn-down-ms", 300);
+    let detector_window = o.u64("detector-window", if churn > 0 { 200 } else { 0 });
     o.finish();
 
     let graph = hypercube(hc);
     let n = graph.len();
+    let mut plan = ChaosPlan {
+        drop,
+        burst_enter,
+        burst_exit,
+        burst_loss,
+        duplicate,
+        corrupt,
+        delay,
+        delay_ops,
+        ..ChaosPlan::none(seed)
+    };
+    if cut_until > cut_from {
+        // Partition the low half of the hypercube over the given window.
+        plan.cuts.push(ChaosCut {
+            members: (0..(n / 2) as NodeId).collect(),
+            from_op: cut_from,
+            until_op: cut_until,
+        });
+    }
+    let plan = (!plan.is_passthrough()).then_some(plan);
+    if churn as usize >= n {
+        eprintln!(
+            "--churn {churn} must leave node 0 and at least one victim in a {n}-node cluster"
+        );
+        std::process::exit(2);
+    }
     let opts = ClusterOptions {
         seed,
         target,
         max_rounds,
         wall_limit: Duration::from_millis(wall_limit_ms),
+        churn: (1..=churn as NodeId)
+            .map(|i| gr_transport::ChurnEvent {
+                node: i,
+                at_round: churn_at + 25 * u64::from(i - 1),
+                down_for: Duration::from_millis(churn_down_ms),
+            })
+            .collect(),
+        detector_window: (detector_window > 0).then_some(detector_window),
     };
     let outcome = if dim == 1 {
-        run_payload::<f64>(&backend, &graph, dim, &opts, capacity)
+        run_payload::<f64>(&backend, &graph, dim, &opts, capacity, plan.as_ref())
     } else {
-        run_payload::<gr_reduction::InlineVec>(&backend, &graph, dim, &opts, capacity)
+        run_payload::<gr_reduction::InlineVec>(
+            &backend,
+            &graph,
+            dim,
+            &opts,
+            capacity,
+            plan.as_ref(),
+        )
     };
     let (result, frame_bytes) = match outcome {
         Ok(r) => r,
@@ -138,7 +260,13 @@ fn main() {
         bytes_sent_total: result.bytes_sent_total,
         bytes_sent_per_node_mean: result.bytes_sent_total as f64 / n as f64,
         dropped_total: result.dropped_total,
+        drops: result.nodes.iter().map(|r| r.chaos_drops).sum(),
+        duplicates: result.nodes.iter().map(|r| r.chaos_dups).sum(),
+        corrupted: result.nodes.iter().map(|r| r.chaos_corrupt).sum(),
+        churn_events: result.churn_events,
+        recovered: result.recovered,
         max_rel_error: result.max_rel_error,
+        self_consistency: result.self_consistency,
         mass_weight: result.mass_weight,
     };
     if json {
@@ -170,6 +298,17 @@ fn main() {
             "bytes-on-wire: {} total, {:.0} per node mean, {} sends dropped",
             report.bytes_sent_total, report.bytes_sent_per_node_mean, report.dropped_total
         );
+        if report.drops + report.duplicates + report.corrupted + report.churn_events > 0 {
+            println!(
+                "chaos: {} dropped, {} duplicated, {} corrupted; churn: {} kills, {} recovered (self-consistency {:.3e})",
+                report.drops,
+                report.duplicates,
+                report.corrupted,
+                report.churn_events,
+                report.recovered,
+                report.self_consistency
+            );
+        }
     }
     if !report.converged {
         std::process::exit(1);

@@ -21,14 +21,25 @@
 //! in a CLI that reports wall-clock convergence, rounds and bytes-on-wire
 //! per node. Configuration mistakes surface as [`TransportConfigError`]
 //! values (never panics), runtime failures as [`TransportError`].
+//!
+//! Robustness is tested by breaking the transport on purpose:
+//! [`ChaosDelivery`] wraps any backend with seeded drop/burst/duplicate/
+//! corrupt/delay injection and scripted partitions, and
+//! [`ClusterOptions::churn`] kills and restarts live node threads
+//! mid-run, letting the timeout detector and the protocols' incarnation
+//! machinery drive recovery.
 
+mod chaos;
 mod cluster;
 mod error;
 mod mem;
 mod twin;
 mod udp;
 
-pub use cluster::{run_cluster, ClusterOptions, ClusterResult, NodeReport, WireInstrumented};
+pub use chaos::{ChaosCut, ChaosDelivery, ChaosPlan, ChaosStats};
+pub use cluster::{
+    run_cluster, ChurnEvent, ClusterOptions, ClusterResult, NodeReport, WireInstrumented,
+};
 pub use error::{TransportConfigError, TransportError};
 pub use mem::{mem_cluster, MemDelivery};
 pub use twin::{twin_equivalence, TwinReport};
@@ -47,4 +58,12 @@ pub struct WireStats {
     pub bytes_recv: u64,
     /// Frames lost to backpressure (full inbox / full socket buffer).
     pub dropped: u64,
+    /// Frames deliberately dropped by the chaos layer (i.i.d., burst, or
+    /// partition cut). Zero on unwrapped backends.
+    pub chaos_drops: u64,
+    /// Extra copies injected by chaos duplication. Zero when chaos is off.
+    pub chaos_dups: u64,
+    /// Frames whose payload the chaos layer bit-flipped. Zero when chaos
+    /// is off.
+    pub chaos_corrupt: u64,
 }

@@ -1,0 +1,131 @@
+//! The chaos layer's null plan is a verified no-op: wrapping a backend in
+//! [`ChaosDelivery`] with every rate at zero and no cuts must be
+//! byte-identical passthrough — same delivered stream, same wire stats —
+//! for both real backends. This pins the wrapper's "off" cost at exactly
+//! nothing, so wrapping unconditionally (and gating on the plan) is safe.
+
+use gr_netsim::Delivery;
+use gr_reduction::Mass;
+use gr_topology::NodeId;
+use gr_transport::{
+    mem_cluster, udp_cluster, ChaosDelivery, ChaosPlan, TransportConfigError, WireInstrumented,
+    WireStats,
+};
+use proptest::prelude::*;
+
+/// A scripted send: `(src, dst, value)`.
+type Send = (NodeId, NodeId, f64);
+
+fn script_strategy(n: NodeId) -> impl Strategy<Value = Vec<Send>> {
+    proptest::collection::vec((0..n, 0..n, -1e6f64..1e6), 0..48usize)
+}
+
+/// FNV-1a over one delivered message, including who carried it.
+fn msg_hash(src: NodeId, dst: NodeId, m: &Mass<f64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for word in [
+        u64::from(src),
+        u64::from(dst),
+        m.value.to_bits(),
+        m.weight.to_bits(),
+    ] {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Run the script through a set of endpoints single-threaded, then drain
+/// everything. Returns an order-insensitive digest of the delivered
+/// stream plus the summed wire stats. `budget` bounds the drain for
+/// backends with kernel latency.
+fn run_script<D: Delivery<Mass<f64>, Error = gr_transport::TransportError> + WireInstrumented>(
+    mut eps: Vec<D>,
+    script: &[Send],
+) -> (u64, u64, WireStats) {
+    for &(src, dst, v) in script {
+        eps[src as usize].send(src, dst, Mass::new(v, 1.0)).unwrap();
+    }
+    let (mut digest, mut count) = (0u64, 0u64);
+    let expect: u64 = eps.iter().map(|e| e.wire_stats().sent).sum();
+    for _ in 0..500 {
+        for (node, ep) in eps.iter_mut().enumerate() {
+            while let Some((src, m)) = ep.try_recv(node as NodeId).unwrap() {
+                digest ^= msg_hash(src, node as NodeId, &m);
+                count += 1;
+            }
+        }
+        if count >= expect {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let mut wire = WireStats::default();
+    for e in &eps {
+        let w = e.wire_stats();
+        wire.sent += w.sent;
+        wire.delivered += w.delivered;
+        wire.bytes_sent += w.bytes_sent;
+        wire.bytes_recv += w.bytes_recv;
+        wire.dropped += w.dropped;
+        wire.chaos_drops += w.chaos_drops;
+        wire.chaos_dups += w.chaos_dups;
+        wire.chaos_corrupt += w.chaos_corrupt;
+    }
+    (digest, count, wire)
+}
+
+fn wrap<D>(eps: Vec<D>, plan: &ChaosPlan) -> Vec<ChaosDelivery<D, Mass<f64>>> {
+    eps.into_iter()
+        .enumerate()
+        .map(|(i, ep)| ChaosDelivery::new(ep, i as NodeId, plan))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Mem backend: bare and null-plan-wrapped runs of the same script
+    /// are indistinguishable — delivered stream and every wire counter.
+    #[test]
+    fn mem_null_plan_is_byte_identical(
+        script in script_strategy(4),
+        seed in 0u64..1_000_000_000,
+    ) {
+        let plan = ChaosPlan::none(seed);
+        prop_assert!(plan.is_passthrough());
+        let bare = run_script(mem_cluster::<Mass<f64>>(4, 1024).unwrap(), &script);
+        let wrapped = run_script(wrap(mem_cluster::<Mass<f64>>(4, 1024).unwrap(), &plan), &script);
+        prop_assert_eq!(bare, wrapped);
+    }
+}
+
+/// UDP backend: same property, one deterministic script (sockets are too
+/// slow for a full proptest battery; the property is rate-independent).
+#[test]
+fn udp_null_plan_is_byte_identical() {
+    let script: Vec<Send> = (0..40)
+        .map(|i| {
+            (
+                (i % 3) as NodeId,
+                ((i + 1) % 3) as NodeId,
+                1.5 * i as f64 - 20.0,
+            )
+        })
+        .collect();
+    let bare = match udp_cluster::<Mass<f64>>(3) {
+        Ok(eps) => run_script(eps, &script),
+        Err(TransportConfigError::PortBind { addr, detail }) => {
+            eprintln!("skipping UDP passthrough test: cannot bind {addr}: {detail}");
+            return;
+        }
+        Err(e) => panic!("unexpected config error: {e}"),
+    };
+    let wrapped = match udp_cluster::<Mass<f64>>(3) {
+        Ok(eps) => run_script(wrap(eps, &ChaosPlan::none(7)), &script),
+        Err(_) => return,
+    };
+    assert_eq!(bare, wrapped);
+}

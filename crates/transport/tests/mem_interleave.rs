@@ -35,6 +35,7 @@ fn check(pick: usize, seed: u64, offset: f64) -> Result<(), TestCaseError> {
         target: 1e-9,
         max_rounds: 5_000,
         wall_limit: Duration::from_secs(10),
+        ..ClusterOptions::default()
     };
     let result = run_cluster(
         &graph,

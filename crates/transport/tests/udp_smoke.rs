@@ -32,6 +32,7 @@ fn hc4_pcf_converges_over_loopback_udp() {
         // The ISSUE budget for this test is 5 seconds end to end; the
         // stepping phase gets most of it.
         wall_limit: Duration::from_secs(4),
+        ..ClusterOptions::default()
     };
     let start = std::time::Instant::now();
     let result = run_cluster(
