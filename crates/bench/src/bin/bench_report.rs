@@ -4,18 +4,18 @@
 //! FU on hypercubes of dimension 6/8/10, fault-free and under a stress
 //! plan, the vector-payload grid on hc8, and a full PCF round over a
 //! million-node torus through the partitioned engine) on a pinned
-//! workload and emits `BENCH_4.json` in a stable schema. Each kernel
+//! workload and emits `BENCH_5.json` in a stable schema. Each kernel
 //! also reports its steady-state heap-allocation rate (a counting shim
 //! around the system allocator, armed only during a counted block), so
 //! the allocation-free claim is part of the committed baseline. CI runs
 //! the report against the committed baseline and fails on any time
 //! regression beyond the tolerance *or* any kernel whose baseline
 //! allocation rate was zero turning allocating; refreshing the baseline
-//! is a deliberate `bench-report --out BENCH_4.json` + commit.
+//! is a deliberate `bench-report --out BENCH_5.json` + commit.
 //!
 //! ```text
-//! bench-report                                   # write ./BENCH_4.json
-//! bench-report --out cur.json --baseline BENCH_4.json --tolerance 0.25
+//! bench-report                                   # write ./BENCH_5.json
+//! bench-report --out cur.json --baseline BENCH_5.json --tolerance 0.25
 //! bench-report --blocks 8                        # quicker, noisier
 //! bench-report --only torus1000x1000 --sim-threads 4   # scale kernel on 4 workers
 //! ```
@@ -33,9 +33,13 @@
 //! noise, which only ever slows a block down). Allocations are counted
 //! over one further block after the timed ones.
 
+use gr_batch::{BatchHost, BatchOptions, BatchSim, TenantSpec};
 use gr_experiments::Opts;
 use gr_netsim::{FaultPlan, LinkFailure, NodeCrash, Protocol, SimOptions, Simulator};
-use gr_reduction::{AggregateKind, FlowUpdating, InitialData, Payload, PushCancelFlow, PushFlow};
+use gr_reduction::{
+    AggregateKind, FlowUpdating, InitialData, Mass, Payload, PcfMsg, PushCancelFlow, PushFlow,
+    WireMsg,
+};
 use gr_topology::{hypercube, torus2d, Graph};
 use serde_json::Value;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -149,6 +153,48 @@ fn time_steps<P: Protocol>(
     (best, allocs)
 }
 
+/// Time a closure over `ops`-iteration blocks (fastest block's ns/op),
+/// then count heap allocations over one further block — the operation
+/// analogue of [`time_steps`], for the codec kernels.
+fn time_ops<R>(ops: u64, blocks: usize, mut f: impl FnMut() -> R) -> (f64, f64) {
+    for _ in 0..ops {
+        std::hint::black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..blocks {
+        let start = Instant::now();
+        for _ in 0..ops {
+            std::hint::black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / ops as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..ops {
+        std::hint::black_box(f());
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst) as f64 / ops as f64;
+    (best, allocs)
+}
+
+/// The wire-codec fixture message: the scalar PCF frame, the largest
+/// frame of the protocol family (mirrors `benches/wire_codec.rs`).
+fn scalar_pcf_msg() -> PcfMsg<f64> {
+    PcfMsg {
+        f1: Mass::new(1.5, 0.25),
+        f2: Mass::new(-2.0, 0.5),
+        c: 2,
+        r: 7,
+        folded: Mass::new(0.0, 0.0),
+        base: Mass::new(3.0, 1.0),
+        inc: 1,
+    }
+}
+
 fn measure<P: Payload>(
     graph: &Graph,
     data: &InitialData<P>,
@@ -182,7 +228,7 @@ fn measure<P: Payload>(
     }
 }
 
-fn run_all(blocks: usize, only: &str, sim_threads: usize) -> Vec<Kernel> {
+fn run_all(blocks: usize, only: &str, sim_threads: usize, batch_tenants: usize) -> Vec<Kernel> {
     let mut kernels = Vec::new();
     let push = |kernels: &mut Vec<Kernel>, name: String, (ns, allocs): (f64, f64)| {
         println!("  {name}: {ns:.1} ns/round, {allocs:.2} allocs/round");
@@ -252,6 +298,87 @@ fn run_all(blocks: usize, only: &str, sim_threads: usize) -> Vec<Kernel> {
             );
             let m = time_steps(&mut sim, 2, blocks.min(8), 4);
             push(&mut kernels, name, m);
+        }
+    }
+    // Wire-codec kernels: per-message encode/decode cost of the scalar
+    // PCF frame — the per-message overhead every real transport pays
+    // twice. Reported in ns per operation (the schema's "round" is the
+    // codec op here); the encode path reuses one buffer, so both kernels
+    // are accountable to zero steady-state allocations.
+    {
+        const CODEC_OPS: u64 = 200_000;
+        let msg = scalar_pcf_msg();
+        let name = "wire_codec/encode/pcf-scalar".to_string();
+        if only.is_empty() || name.contains(only) {
+            let mut buf = Vec::new();
+            msg.encode_frame(&mut buf);
+            let m = time_ops(CODEC_OPS, blocks, || {
+                buf.clear();
+                msg.encode_frame(&mut buf);
+                buf.len()
+            });
+            push(&mut kernels, name, m);
+        }
+        let name = "wire_codec/decode/pcf-scalar".to_string();
+        if only.is_empty() || name.contains(only) {
+            let mut frame = Vec::new();
+            msg.encode_frame(&mut frame);
+            let m = time_ops(CODEC_OPS, blocks, || {
+                PcfMsg::<f64>::decode_frame(&frame).unwrap()
+            });
+            push(&mut kernels, name, m);
+        }
+    }
+    // Multi-tenant batch kernel: `--batch-tenants` (default 10k)
+    // independent hc6 PCF reductions through one `BatchSim` — the
+    // shared-arena executor's aggregate throughput. Reported per
+    // *tenant-round* so the figure is comparable across tenant counts;
+    // construction (union graph, slab arenas) happens outside the timed
+    // blocks, and a steady-state batch round must not touch the heap.
+    // `--sim-threads` maps to the batch worker count; per-tenant results
+    // are identical for every value (pinned by gr-batch's tests), so
+    // only the wall-clock column moves.
+    {
+        let name = format!("batch_round/pcf/hc6/t{batch_tenants}");
+        if only.is_empty() || name.contains(only) {
+            let graph = hypercube(6);
+            let n = graph.len();
+            let specs: Vec<TenantSpec> = (0..batch_tenants)
+                .map(|t| {
+                    let values = (0..n).map(|i| (t * n + i) as f64).collect();
+                    TenantSpec::clean(graph.clone(), SEED.wrapping_add(t as u64), values, u64::MAX)
+                })
+                .collect();
+            let host = BatchHost::assemble(&specs).expect("valid batch");
+            let data = host.union_data(&specs);
+            let pcf = PushCancelFlow::new(host.graph(), &data);
+            let opts = BatchOptions {
+                threads: sim_threads,
+                ..BatchOptions::default()
+            };
+            let mut sim = BatchSim::new(&host, pcf, &specs, opts).expect("valid options");
+            let rounds = 2u64;
+            sim.run(4);
+            let mut best = f64::INFINITY;
+            for _ in 0..blocks.min(8) {
+                let start = Instant::now();
+                sim.run(rounds);
+                let ns = start.elapsed().as_nanos() as f64 / (rounds * batch_tenants as u64) as f64;
+                if ns < best {
+                    best = ns;
+                }
+            }
+            ALLOCS.store(0, Ordering::SeqCst);
+            COUNTING.store(true, Ordering::SeqCst);
+            sim.run(rounds);
+            COUNTING.store(false, Ordering::SeqCst);
+            let allocs =
+                ALLOCS.load(Ordering::SeqCst) as f64 / (rounds * batch_tenants as u64) as f64;
+            println!(
+                "  {name}: aggregate {:.0} tenant-rounds/sec across {batch_tenants} tenants",
+                1e9 / best
+            );
+            push(&mut kernels, name, (best, allocs));
         }
     }
     kernels
@@ -338,19 +465,21 @@ fn compare(kernels: &[Kernel], baseline: &Value, tolerance: f64) -> Vec<String> 
 
 fn main() {
     let opts = Opts::from_env();
-    let out = opts.string("out", "BENCH_4.json");
+    let out = opts.string("out", "BENCH_5.json");
     let baseline_path = opts.string("baseline", "");
     let tolerance = opts.f64("tolerance", 0.25);
     let blocks = opts.u64("blocks", 24) as usize;
     let only = opts.string("only", "");
     let sim_threads = opts.u64("sim-threads", 1) as usize;
+    let batch_tenants = opts.u64("batch-tenants", 10_000) as usize;
     opts.finish();
     assert!(blocks >= 1, "--blocks must be at least 1");
     assert!(tolerance >= 0.0, "--tolerance must be non-negative");
     assert!(sim_threads >= 1, "--sim-threads must be at least 1");
+    assert!(batch_tenants >= 1, "--batch-tenants must be at least 1");
 
     println!("bench-report: timing kernels (filter: {only:?}, sim threads: {sim_threads})");
-    let kernels = run_all(blocks, &only, sim_threads);
+    let kernels = run_all(blocks, &only, sim_threads, batch_tenants);
     assert!(!kernels.is_empty(), "--only {only:?} matched no kernel");
 
     let json = serde_json::to_string_pretty(&report_json(&kernels, blocks)).unwrap();

@@ -6,7 +6,8 @@
 //! gr-campaign --mode stress --seeds 5       # widen the seed corpus to 1..=5
 //! gr-campaign --mode stress --shard 2/4     # run only the 2nd of 4 corpus shards
 //! gr-campaign --mode stress --replay <fp>   # re-run one fingerprint, dump trace tail
-//! gr-campaign --mode sanity --list          # print the corpus without running it
+//! gr-campaign --mode sanity --list          # lanes/templates/counts, nothing runs
+//! gr-campaign --mode stress --list-full     # per-scenario hash + canonical dump
 //! gr-campaign --mode sanity --json out.json # also write the machine-readable report
 //! gr-campaign --mode stress --baseline b.json  # exit 1 on violations NOT in b.json
 //! gr-campaign --mode stress --sim-threads 4    # partitioned-engine worker threads
@@ -89,6 +90,7 @@ fn main() {
     let replay = opts.string("replay", "");
     let tail = opts.u64("tail", 64) as usize;
     let list = opts.bool("list", false);
+    let list_full = opts.bool("list-full", false);
     let threads = opts.u64("threads", default_threads() as u64) as usize;
     let sim_threads = opts.u64("sim-threads", 1) as usize;
     let partitions = opts.u64("partitions", 0) as usize;
@@ -133,10 +135,35 @@ fn main() {
         shard_corpus(&corpus, k - 1, n)
     };
 
-    if list {
+    if list_full {
         for sc in &corpus {
             println!("{}  {}", sc.hash(), sc.canonical());
         }
+        return;
+    }
+
+    // --list: enumerate the corpus — lane, template names, per-template
+    // scenario counts — without running anything. (--list-full dumps the
+    // per-scenario hash + canonical lines instead.)
+    if list {
+        println!(
+            "{} lane: {} scenarios, seeds {:?}",
+            lane.label(),
+            corpus.len(),
+            seeds
+        );
+        // Group by template, preserving first-appearance corpus order.
+        let mut templates: Vec<(&str, usize)> = Vec::new();
+        for sc in &corpus {
+            match templates.iter_mut().find(|(t, _)| *t == sc.template) {
+                Some((_, n)) => *n += 1,
+                None => templates.push((&sc.template, 1)),
+            }
+        }
+        for (template, n) in &templates {
+            println!("  {template:<28} {n:>4} scenario(s)");
+        }
+        println!("{} template(s)", templates.len());
         return;
     }
 

@@ -13,6 +13,7 @@
 
 use crate::oracle::{Oracle, Violation};
 use crate::scenario::{Scenario, Workload};
+use gr_batch::{BatchHost, BatchOptions, BatchSim, TenantProtocol, TenantSpec};
 use gr_netsim::{Protocol, SimStats, Simulator, Trace};
 use gr_numerics::{relative_error, Dd};
 use gr_reduction::{
@@ -95,6 +96,13 @@ pub fn run_scenario_traced_exec(
     trace_capacity: Option<usize>,
     exec: Exec,
 ) -> (ScenarioResult, Option<Trace>) {
+    // Tenant scenarios run on the gr-batch executor: N instances of the
+    // topology under one shared fault plan, oracle-checked per tenant.
+    // No netsim trace exists for a batch run (the executor has no event
+    // ring), so replay renders the outcome without a trace tail.
+    if sc.tenants > 0 {
+        return (run_batch_scenario(sc, exec), None);
+    }
     let graph = sc.topology.build();
     match sc.workload {
         Workload::Average | Workload::Sum => {
@@ -252,6 +260,187 @@ fn drive<P: Payload, Pr: ReductionProtocol>(
             return (result, trace);
         }
     }
+}
+
+/// Run a `tenants > 0` scenario on the gr-batch multi-tenant executor:
+/// `sc.tenants` instances of the scenario's topology, tenant `t` seeded
+/// `sc.seed + t` with its own uniform-random initial values, every
+/// tenant under the SAME scheduled-fault plan (tenant-local ids — the
+/// batch engine offsets them into union space). The oracle checks each
+/// tenant independently against its own initial data; the first
+/// violation (tenant order, then invariant order) is the one reported,
+/// with the node mapped back to the tenant-local id.
+fn run_batch_scenario(sc: &Scenario, exec: Exec) -> ScenarioResult {
+    assert_eq!(
+        sc.workload,
+        Workload::Average,
+        "tenant scenarios are scalar-average workloads"
+    );
+    let graph = sc.topology.build();
+    let plan = sc.fault_plan();
+    let specs: Vec<TenantSpec> = (0..sc.tenants)
+        .map(|t| {
+            let seed = sc.seed.wrapping_add(t as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let values = (0..graph.len()).map(|_| rng.random::<f64>()).collect();
+            TenantSpec {
+                graph: graph.clone(),
+                seed,
+                plan: plan.clone(),
+                values,
+                max_rounds: sc.max_rounds,
+            }
+        })
+        .collect();
+    let host = BatchHost::assemble(&specs)
+        .unwrap_or_else(|e| panic!("scenario {}: invalid batch config: {e}", sc.hash()));
+    let data = host.union_data(&specs);
+    match sc.algorithm {
+        Algorithm::PushFlow => {
+            drive_batch(sc, &host, &specs, PushFlow::new(host.graph(), &data), exec)
+        }
+        Algorithm::PushCancelFlow(mode) => drive_batch(
+            sc,
+            &host,
+            &specs,
+            PushCancelFlow::with_mode(host.graph(), &data, mode),
+            exec,
+        ),
+        Algorithm::FlowUpdating => drive_batch(
+            sc,
+            &host,
+            &specs,
+            FlowUpdating::new(host.graph(), &data),
+            exec,
+        ),
+        Algorithm::PushSum => panic!(
+            "scenario {}: tenant scenarios require a flow protocol (push-sum has no batch support)",
+            sc.hash()
+        ),
+    }
+}
+
+fn drive_batch<P: TenantProtocol + ReductionProtocol>(
+    sc: &Scenario,
+    host: &BatchHost,
+    specs: &[TenantSpec],
+    protocol: P,
+    exec: Exec,
+) -> ScenarioResult {
+    let n_t = specs.len();
+    let opts = BatchOptions {
+        threads: exec.sim_threads.max(1),
+        ..BatchOptions::default()
+    };
+    let mut sim = BatchSim::new(host, protocol, specs, opts)
+        .unwrap_or_else(|e| panic!("scenario {}: invalid batch options: {e}", sc.hash()));
+
+    // Per-tenant oracle state, each against that tenant's own data.
+    let per_data: Vec<InitialData<f64>> = specs
+        .iter()
+        .map(|s| InitialData::with_kind(s.values.clone(), AggregateKind::Average))
+        .collect();
+    let mut oracles: Vec<Oracle> = per_data.iter().map(|d| Oracle::new(sc, d)).collect();
+    let mut refs: Vec<Vec<Dd>> = per_data.iter().map(|d| d.reference()).collect();
+    let mut alive_counts: Vec<usize> = specs.iter().map(|s| s.graph.len()).collect();
+    let mut crashed = vec![false; n_t];
+    let mut errs = vec![(0.0f64, 0 as NodeId); n_t];
+
+    loop {
+        sim.step_round();
+        let round = sim.round();
+        let done = round >= sc.max_rounds;
+        if round % CHECK_EVERY != 0 && !done {
+            continue;
+        }
+
+        let mut violation: Option<Violation> = None;
+        for t in 0..n_t {
+            let node_base = host.tenant_nodes(t).start;
+            let alive: Vec<NodeId> = sim.tenant_alive_nodes(t).collect();
+            if alive.len() != alive_counts[t] {
+                alive_counts[t] = alive.len();
+                crashed[t] = true;
+            }
+            if crashed[t] {
+                // Same survivor-mass re-basing as the classic driver,
+                // scoped to the tenant's node block.
+                refs[t] = mass_reference(sim.protocol(), alive.iter().copied())
+                    .unwrap_or_else(|| vec![Dd::ZERO; per_data[t].dim()]);
+            }
+            let (err, worst_node) = worst_error(sim.protocol(), &refs[t], &alive);
+            oracles[t].note_error(round, err);
+            errs[t] = (err, worst_node);
+            if violation.is_none() {
+                let edges = batch_mutual_edges(&sim, &alive);
+                violation = oracles[t]
+                    .check_step(sim.protocol(), &alive, &edges, round)
+                    .map(|v| localize_violation(v, t, node_base));
+            }
+        }
+        // The reported error is the worst tenant's — one number that
+        // bounds the whole fleet.
+        let (final_err, _) =
+            errs.iter().fold(
+                (0.0f64, 0 as NodeId),
+                |acc, &e| if e.0 > acc.0 { e } else { acc },
+            );
+        let converged = sc.target_accuracy > 0.0 && final_err <= sc.target_accuracy;
+        if violation.is_none() && (converged || done) {
+            for t in 0..n_t {
+                let node_base = host.tenant_nodes(t).start;
+                let (err, worst_node) = errs[t];
+                if let Some(v) = oracles[t].check_end(sc, round, err, worst_node) {
+                    violation = Some(localize_violation(v, t, node_base));
+                    break;
+                }
+            }
+        }
+        if violation.is_some() || converged || done {
+            let mut stats = SimStats::default();
+            for t in 0..n_t {
+                stats.merge(&sim.tenant_stats(t));
+            }
+            stats.rounds = round;
+            return ScenarioResult {
+                hash: sc.hash(),
+                template: sc.template.clone(),
+                algorithm: sc.algorithm.label(),
+                topology: sc.topology.label(),
+                seed: sc.seed,
+                rounds: round,
+                final_err,
+                stats,
+                violation,
+            };
+        }
+    }
+}
+
+/// Map a violation caught in union-graph coordinates back to the
+/// tenant-local node id, and stamp the tenant index into the detail.
+fn localize_violation(v: Violation, tenant: usize, node_base: NodeId) -> Violation {
+    Violation {
+        node: v.node - node_base,
+        detail: format!("tenant {tenant}: {}", v.detail),
+        ..v
+    }
+}
+
+/// [`mutual_edges`] over a batch tenant's alive set (union-graph ids).
+fn batch_mutual_edges<P: TenantProtocol>(
+    sim: &BatchSim<'_, P>,
+    alive: &[NodeId],
+) -> Vec<(NodeId, NodeId)> {
+    let mut edges = Vec::new();
+    for &i in alive {
+        for &j in sim.believed_alive(i) {
+            if j > i && alive.binary_search(&j).is_ok() && sim.believed_alive(j).contains(&i) {
+                edges.push((i, j));
+            }
+        }
+    }
+    edges
 }
 
 /// Max relative error over the alive set, with the worst node attributed
@@ -503,6 +692,54 @@ mod tests {
             "{:?}",
             r.stats
         );
+    }
+
+    #[test]
+    fn tenants_scenario_runs_batched_and_is_thread_invariant() {
+        // The multi-tenant template: 24 hc6 tenants under one shared
+        // fault plan on the gr-batch executor. PCF-hardened must ride
+        // through with zero per-tenant oracle violations, and the batch
+        // worker count must not perturb a single byte of the result.
+        let sc = stress_corpus(&[1])
+            .into_iter()
+            .find(|s| {
+                s.template == "tenants/hc6-shared-faults"
+                    && s.algorithm == Algorithm::PushCancelFlow(PhiMode::Hardened)
+            })
+            .expect("tenants template in stress corpus");
+        assert_eq!(sc.tenants, 24);
+        let a = run_scenario(&sc);
+        assert!(
+            a.violation.is_none(),
+            "{}: {:?}",
+            sc.canonical(),
+            a.violation
+        );
+        assert_eq!(a.rounds, sc.max_rounds);
+        // Worst-tenant survivor error after the shared faults: exact
+        // reconvergence across the whole fleet.
+        assert!(a.final_err < 1e-6, "err={:e}", a.final_err);
+        // Aggregated transport counters cover all 24 tenants: every
+        // tenant's alive nodes send every round.
+        assert!(a.stats.sent > 24 * 64 * 800, "{:?}", a.stats);
+        assert!(
+            a.stats.lost_random > 0,
+            "loss model never fired: {:?}",
+            a.stats
+        );
+        for sim_threads in [2, 4] {
+            let b = run_scenario_exec(
+                &sc,
+                Exec {
+                    sim_threads,
+                    partitions: None,
+                },
+            );
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.final_err.to_bits(), b.final_err.to_bits());
+            assert_eq!(a.violation, b.violation);
+        }
     }
 
     #[test]

@@ -194,6 +194,16 @@ pub struct Scenario {
     /// results (unlike worker thread count, which never does and is
     /// deliberately *not* a scenario field).
     pub partitions: usize,
+    /// Tenant count (`0` = one classic single-instance run). A value
+    /// ≥ 1 routes the scenario through the `gr-batch` multi-tenant
+    /// executor: `tenants` independent instances of this topology, each
+    /// seeded `seed + t`, all under ONE shared scheduled-fault plan,
+    /// with the oracle invariants checked per tenant. Identity, not an
+    /// execution hint — tenant count selects the per-tenant RNG streams.
+    /// The batch engine is synchronous / zero-delay / oracle-detected by
+    /// construction, so tenant scenarios must not carry delay or a
+    /// timeout detector window.
+    pub tenants: usize,
 }
 
 impl Scenario {
@@ -239,7 +249,9 @@ impl Scenario {
             // engine is a synchronous-round, zero-delay engine by
             // construction (`SimConfigError::PartitionedAsync` /
             // `PartitionedDelay` reject everything else).
-            activation: if self.delay_max > 0 || self.partitions >= 2 {
+            // Tenant scenarios likewise: the gr-batch executor replays
+            // the classic engine's synchronous zero-delay round.
+            activation: if self.delay_max > 0 || self.partitions >= 2 || self.tenants >= 1 {
                 Activation::Synchronous
             } else {
                 Activation::Asynchronous
@@ -310,6 +322,11 @@ impl Scenario {
         }
         if !self.net_partition_heals.is_empty() {
             s.push_str(&format!("|cutheals={:?}", self.net_partition_heals));
+        }
+        // And for the multi-tenant batch field: pre-batch fingerprints
+        // stay byte-identical.
+        if self.tenants != 0 {
+            s.push_str(&format!("|tenants={}", self.tenants));
         }
         s
     }
@@ -408,6 +425,7 @@ fn base_scenario(
         net_partitions: Vec::new(),
         net_partition_heals: Vec::new(),
         partitions: 0,
+        tenants: 0,
     }
 }
 
@@ -679,8 +697,38 @@ pub fn stress_corpus(seeds: &[u64]) -> Vec<Scenario> {
         sc.partitions = 16;
         corpus.push(sc);
     }
+
+    // Multi-tenant template: TENANT_COUNT independent hc6 reductions
+    // multiplexed through the gr-batch executor, all under ONE shared
+    // scheduled-fault plan (the same two link failures and one crash
+    // strike every tenant, in tenant-local coordinates) while each
+    // tenant draws its own loss coins from its own seed. The oracle's
+    // invariants — mass conservation, flow antisymmetry, magnitude
+    // screens, survivor reconvergence — are checked per tenant against
+    // that tenant's own initial data, so one run audits the whole fleet.
+    // Fault placement stays on hc6 (connectivity 6): two link failures
+    // plus one crash can never disconnect a tenant.
+    let topology = TopologyKind::Hypercube(6);
+    let template = "tenants/hc6-shared-faults".to_string();
+    for algorithm in algorithms {
+        for &seed in seeds {
+            let (link_failures, crashes) = place_faults(topology, &template, algorithm, seed, 2, 1);
+            let mut sc = base_scenario(Lane::Stress, template.clone(), topology, algorithm, seed);
+            sc.loss = 0.02;
+            sc.link_failures = link_failures;
+            sc.crashes = crashes;
+            sc.tenants = TENANT_COUNT;
+            corpus.push(sc);
+        }
+    }
     corpus
 }
+
+/// Tenants per `tenants/*` stress scenario — big enough that the batch
+/// path (shared slab, per-tenant fault queues, worker chunking) is
+/// genuinely exercised, small enough that the stress lane's CI budget
+/// barely notices (24 × 64 nodes × 900 rounds per scenario).
+const TENANT_COUNT: usize = 24;
 
 /// Draw scheduled fault placements from a scenario-identity-keyed RNG
 /// stream. Placement is independent of the simulation's own streams, so
@@ -1058,6 +1106,47 @@ mod tests {
         let before = sc.hash();
         sc.partitions = 4;
         assert_ne!(sc.hash(), before);
+    }
+
+    #[test]
+    fn tenants_field_is_hash_neutral_when_unset() {
+        // Every pre-batch scenario's canonical encoding must stay
+        // byte-identical, or all committed fingerprints break.
+        for sc in sanity_corpus(&[1]).iter().chain(stress_corpus(&[1]).iter()) {
+            if sc.tenants == 0 {
+                assert!(!sc.canonical().contains("tenants="), "{}", sc.canonical());
+            }
+        }
+        // And setting it perturbs the fingerprint — tenant count selects
+        // the per-tenant RNG streams, so it is identity.
+        let mut sc = stress_corpus(&[1])[0].clone();
+        let before = sc.hash();
+        sc.tenants = 24;
+        assert_ne!(sc.hash(), before);
+        assert!(sc.canonical().ends_with("|tenants=24"));
+    }
+
+    #[test]
+    fn tenants_template_shares_one_fault_schedule() {
+        let corpus = stress_corpus(&[1, 2, 3]);
+        let cases: Vec<_> = corpus
+            .iter()
+            .filter(|s| s.template == "tenants/hc6-shared-faults")
+            .collect();
+        assert_eq!(cases.len(), 12, "4 algorithms x 3 seeds");
+        for sc in cases {
+            assert_eq!(sc.tenants, TENANT_COUNT);
+            assert_eq!(sc.topology, TopologyKind::Hypercube(6));
+            // Shared scheduled faults, in tenant-local coordinates.
+            assert_eq!(sc.link_failures.len(), 2);
+            assert_eq!(sc.crashes.len(), 1);
+            // The batch engine's regime: zero delay, oracle detection,
+            // synchronous activation.
+            assert_eq!(sc.delay_max, 0);
+            assert_eq!(sc.detector_window, 0);
+            assert_eq!(sc.sim_options().activation, Activation::Synchronous);
+            assert_eq!(sc.validate(), Ok(()));
+        }
     }
 
     #[test]

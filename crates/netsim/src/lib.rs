@@ -49,6 +49,7 @@ pub use faults::{
     PartitionHeal,
 };
 pub use options::{Activation, DelayModel, DetectorModel, SimConfigError, SimOptions};
+pub use par::WorkerPool;
 pub use rng::{stream_rng, RngStream};
 pub use schedule::Schedule;
 pub use sim::{Protocol, SimStats, Simulator};

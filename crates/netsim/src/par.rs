@@ -59,7 +59,14 @@ struct Shared {
 }
 
 /// Persistent fork-join pool; see the module docs.
-pub(crate) struct WorkerPool {
+///
+/// Public (re-exported as `gr_netsim::WorkerPool`) so sibling round
+/// drivers — the multi-tenant batch executor in `gr-batch` — can reuse
+/// the same zero-allocation phase dispatch instead of growing a second
+/// pool implementation. The contract is unchanged: `run` is a strict
+/// barrier, and results must never depend on which participant claims
+/// which job index.
+pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
 }
@@ -67,7 +74,7 @@ pub(crate) struct WorkerPool {
 impl WorkerPool {
     /// A pool with `threads` total participants: `threads - 1` spawned
     /// workers plus the dispatching thread itself.
-    pub(crate) fn new(threads: usize) -> WorkerPool {
+    pub fn new(threads: usize) -> WorkerPool {
         let workers = threads.saturating_sub(1);
         let shared = Arc::new(Shared {
             ctrl: Mutex::new(Ctrl {
@@ -97,7 +104,7 @@ impl WorkerPool {
     ///
     /// # Panics
     /// Propagates (as a fresh panic) if `f` panicked on any thread.
-    pub(crate) fn run<F: Fn(usize) + Sync>(&self, njobs: usize, f: F) {
+    pub fn run<F: Fn(usize) + Sync>(&self, njobs: usize, f: F) {
         if self.handles.is_empty() || njobs <= 1 {
             for idx in 0..njobs {
                 f(idx);

@@ -40,12 +40,14 @@ impl Schedule {
 
     /// Choose the partner for `node` among `alive` (its believed-alive
     /// neighbor list, sorted). Returns `None` when the list is empty.
-    pub(crate) fn pick(
-        &mut self,
-        node: NodeId,
-        alive: &[NodeId],
-        rng: &mut StdRng,
-    ) -> Option<NodeId> {
+    ///
+    /// Public because external round drivers (the multi-tenant batch
+    /// executor in `gr-batch`) must replay the simulator's exact draw
+    /// sequence: one `random_range(0..alive.len())` per uniform pick, one
+    /// cursor advance per round-robin pick. `node` only indexes the
+    /// round-robin cursor array, so drivers with their own node numbering
+    /// may pass a driver-local index.
+    pub fn pick(&mut self, node: NodeId, alive: &[NodeId], rng: &mut StdRng) -> Option<NodeId> {
         if alive.is_empty() {
             return None;
         }

@@ -210,9 +210,11 @@ pub struct SimStats {
 }
 
 impl SimStats {
-    /// Fold a per-partition delta into the global counters. `rounds` is
-    /// global bookkeeping and is deliberately not summed.
-    fn absorb(&mut self, d: &SimStats) {
+    /// Sum another run's transport counters into this one. `rounds` is
+    /// deliberately NOT summed — it is per-run bookkeeping, not a
+    /// transport counter; aggregators (partition merges, multi-tenant
+    /// batch roll-ups) set it themselves.
+    pub fn merge(&mut self, d: &SimStats) {
         self.sent += d.sent;
         self.delivered += d.delivered;
         self.lost_random += d.lost_random;
@@ -222,6 +224,11 @@ impl SimStats {
         self.suspected += d.suspected;
         self.rehabilitated += d.rehabilitated;
         self.probes_sent += d.probes_sent;
+    }
+
+    /// Fold a per-partition delta into the global counters.
+    fn absorb(&mut self, d: &SimStats) {
+        self.merge(d);
     }
 }
 

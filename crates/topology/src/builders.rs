@@ -361,6 +361,47 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     b.build()
 }
 
+/// Disjoint union of `parts`: copy `k`'s nodes are renumbered by the
+/// cumulative node count of copies `0..k`, with no edges between copies.
+///
+/// This is the substrate of the multi-tenant batch executor (`gr-batch`):
+/// one protocol instance over the union graph lays its per-node and
+/// per-arc state out in tenant-contiguous CSR blocks, so the flow-bank
+/// slab is tenant-strided by construction. Because every copy's node ids
+/// shift by one uniform offset, neighbor-list order — and therefore every
+/// schedule draw and arc slot — is preserved within each block.
+///
+/// Built via [`Graph::from_csr`] in one `O(V + E)` pass (no edge-list
+/// staging), so assembling thousands of small tenant topologies stays
+/// cheap.
+///
+/// # Panics
+/// Panics if the total node count exceeds [`NodeId`] range.
+pub fn disjoint_union(parts: &[&Graph]) -> Graph {
+    let total_nodes: usize = parts.iter().map(|g| g.len()).sum();
+    let total_arcs: usize = parts.iter().map(|g| g.arc_count()).sum();
+    assert!(
+        total_nodes <= NodeId::MAX as usize,
+        "disjoint union of {total_nodes} nodes exceeds u32 node ids"
+    );
+    let mut offsets = Vec::with_capacity(total_nodes + 1);
+    let mut adj = Vec::with_capacity(total_arcs);
+    offsets.push(0usize);
+    let mut node_base = 0 as NodeId;
+    let mut arc_base = 0usize;
+    for g in parts {
+        for i in 0..g.len() as NodeId {
+            for &j in g.neighbors(i) {
+                adj.push(node_base + j);
+            }
+            offsets.push(arc_base + g.arc_base(i) + g.degree(i));
+        }
+        node_base += g.len() as NodeId;
+        arc_base += g.arc_count();
+    }
+    Graph::from_csr(offsets, adj)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,5 +591,40 @@ mod tests {
     #[should_panic(expected = "must be even")]
     fn random_regular_odd_product_rejected() {
         random_regular(5, 3, 0);
+    }
+
+    #[test]
+    fn disjoint_union_blocks_are_offset_copies() {
+        let a = hypercube(2); // 4 nodes, 8 arcs
+        let b = ring(5); // 5 nodes, 10 arcs
+        let u = disjoint_union(&[&a, &b, &a]);
+        assert_eq!(u.len(), 4 + 5 + 4);
+        assert_eq!(u.arc_count(), 8 + 10 + 8);
+        // Block 0 is a verbatim copy.
+        for i in 0..a.len() as NodeId {
+            assert_eq!(u.neighbors(i), a.neighbors(i));
+            assert_eq!(u.arc_base(i), a.arc_base(i));
+        }
+        // Block 1's lists shift by 4, its arcs by 8.
+        for i in 0..b.len() as NodeId {
+            let shifted: Vec<NodeId> = b.neighbors(i).iter().map(|&j| j + 4).collect();
+            assert_eq!(u.neighbors(4 + i), &shifted[..]);
+            assert_eq!(u.arc_base(4 + i), 8 + b.arc_base(i));
+        }
+        // Block 2 shifts by 9 nodes / 18 arcs.
+        for i in 0..a.len() as NodeId {
+            let shifted: Vec<NodeId> = a.neighbors(i).iter().map(|&j| j + 9).collect();
+            assert_eq!(u.neighbors(9 + i), &shifted[..]);
+            assert_eq!(u.arc_base(9 + i), 18 + a.arc_base(i));
+        }
+        // No cross-block edges.
+        assert!(!u.has_edge(0, 4));
+        assert!(!is_connected(&u));
+    }
+
+    #[test]
+    fn disjoint_union_of_one_is_identity() {
+        let g = hypercube(3);
+        assert_eq!(disjoint_union(&[&g]), g);
     }
 }

@@ -1,4 +1,5 @@
 //! Facade crate re-exporting the public API of the `gossip-reduce` workspace.
+pub use gr_batch as batch;
 pub use gr_dmgs as dmgs;
 pub use gr_linalg as linalg;
 pub use gr_netsim as netsim;
