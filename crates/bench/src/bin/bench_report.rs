@@ -2,23 +2,39 @@
 //!
 //! Times the simulator's hot kernels (one synchronous round of PF / PCF /
 //! FU on hypercubes of dimension 6/8/10, fault-free and under a stress
-//! plan, the vector-payload grid on hc8, and a full PCF round over a
-//! million-node torus through the partitioned engine) on a pinned
-//! workload and emits `BENCH_5.json` in a stable schema. Each kernel
+//! plan, the vector-payload grid on hc8, a full PCF round over a
+//! million-node torus through the partitioned engine, and the flow-bank
+//! component kernels in their SIMD and scalar variants) on a pinned
+//! workload and emits `BENCH_6.json` in a stable schema. Each kernel
 //! also reports its steady-state heap-allocation rate (a counting shim
 //! around the system allocator, armed only during a counted block), so
-//! the allocation-free claim is part of the committed baseline. CI runs
-//! the report against the committed baseline and fails on any time
-//! regression beyond the tolerance *or* any kernel whose baseline
-//! allocation rate was zero turning allocating; refreshing the baseline
-//! is a deliberate `bench-report --out BENCH_5.json` + commit.
+//! the allocation-free claim is part of the committed baseline. The
+//! report also records the measured-cost auto-partitioner's decision for
+//! the million-node scale topology next to the pinned partition count
+//! the kernel actually runs with. CI runs the report against the
+//! committed baseline and fails on any time regression beyond the
+//! tolerance *or* any kernel whose baseline allocation rate was zero
+//! turning allocating; refreshing the baseline is a deliberate
+//! `bench-report --out BENCH_6.json` + commit.
 //!
 //! ```text
-//! bench-report                                   # write ./BENCH_5.json
-//! bench-report --out cur.json --baseline BENCH_5.json --tolerance 0.25
+//! bench-report                                   # write ./BENCH_6.json
+//! bench-report --out cur.json --baseline BENCH_6.json --tolerance 0.25
 //! bench-report --blocks 8                        # quicker, noisier
 //! bench-report --only torus1000x1000 --sim-threads 4   # scale kernel on 4 workers
+//! bench-report --simd-ab                         # interleaved SIMD vs scalar gate
 //! ```
+//!
+//! `--simd-ab` runs only the flow-bank A/B harness: for every bank
+//! kernel × dimension it interleaves SIMD and scalar timing blocks
+//! pairwise and reports the median of the per-pair scalar/SIMD ratios —
+//! interleaving makes each pair share its slice of scheduler noise, so
+//! the median ratio is stable where two independent min-estimates are
+//! not. The run fails unless the PCF fold kernel (`fold2`) reaches
+//! `--simd-min-ratio` (default 1.3×) at a vector dimension, making the
+//! SIMD win a gated property rather than a claim. On hardware without a
+//! vector path the harness skips (exit 0) — the scalar fallback has
+//! nothing to beat.
 //!
 //! `--sim-threads` sets the partitioned engine's worker-thread count for
 //! the scale kernel. Thread count never changes simulation results (the
@@ -37,8 +53,8 @@ use gr_batch::{BatchHost, BatchOptions, BatchSim, TenantSpec};
 use gr_experiments::Opts;
 use gr_netsim::{FaultPlan, LinkFailure, NodeCrash, Protocol, SimOptions, Simulator};
 use gr_reduction::{
-    AggregateKind, FlowUpdating, InitialData, Mass, Payload, PcfMsg, PushCancelFlow, PushFlow,
-    WireMsg,
+    kernels, AggregateKind, FlowUpdating, InitialData, Mass, Payload, PcfMsg, PushCancelFlow,
+    PushFlow, WireMsg,
 };
 use gr_topology::{hypercube, torus2d, Graph};
 use serde_json::Value;
@@ -228,8 +244,110 @@ fn measure<P: Payload>(
     }
 }
 
-fn run_all(blocks: usize, only: &str, sim_threads: usize, batch_tenants: usize) -> Vec<Kernel> {
+/// Deterministic non-trivial fill for the bank-kernel operands
+/// (splitmix64-derived doubles in ~[-1, 1]).
+fn bank_fill(len: usize, mut seed: u64) -> Vec<f64> {
+    (0..len)
+        .map(|_| {
+            seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// One flow-bank bench entry: the `kernel/path` label plus a closure
+/// running one operation.
+type BankOp = (&'static str, Box<dyn FnMut() -> f64>);
+
+/// The flow-bank kernel grid: each entry is `(kernel, dim, path)` plus a
+/// closure running one operation. `simd` uses the forced vector entry
+/// points (scalar delegation on targets without a vector path), so the
+/// pair is measurable regardless of the runtime dispatch state.
+fn bank_kernel_ops(dim: usize) -> Vec<BankOp> {
+    let src = bank_fill(dim, 1);
+    let f1 = bank_fill(dim, 2);
+    let f2 = bank_fill(dim, 3);
+    let mut entries: Vec<BankOp> = Vec::new();
+    {
+        let (mut dst, src) = (bank_fill(dim, 4), src.clone());
+        entries.push((
+            "add/simd",
+            Box::new(move || {
+                kernels::simd::add(&mut dst, &src);
+                dst[0]
+            }),
+        ));
+    }
+    {
+        let (mut dst, src) = (bank_fill(dim, 4), src.clone());
+        entries.push((
+            "add/scalar",
+            Box::new(move || {
+                kernels::scalar::add(&mut dst, &src);
+                dst[0]
+            }),
+        ));
+    }
+    {
+        let mut dst = bank_fill(dim, 5);
+        entries.push((
+            "scale/simd",
+            Box::new(move || {
+                kernels::simd::scale(&mut dst, 0.999_999);
+                dst[0]
+            }),
+        ));
+    }
+    {
+        let mut dst = bank_fill(dim, 5);
+        entries.push((
+            "scale/scalar",
+            Box::new(move || {
+                kernels::scalar::scale(&mut dst, 0.999_999);
+                dst[0]
+            }),
+        ));
+    }
+    {
+        let (mut p, mut b) = (bank_fill(dim, 6), bank_fill(dim, 7));
+        let (f1, f2) = (f1.clone(), f2.clone());
+        entries.push((
+            "fold2/simd",
+            Box::new(move || {
+                kernels::simd::fold2(&mut p, &mut b, &f1, &f2);
+                p[0]
+            }),
+        ));
+    }
+    {
+        let (mut p, mut b) = (bank_fill(dim, 6), bank_fill(dim, 7));
+        entries.push((
+            "fold2/scalar",
+            Box::new(move || {
+                kernels::scalar::fold2(&mut p, &mut b, &f1, &f2);
+                p[0]
+            }),
+        ));
+    }
+    entries
+}
+
+/// Payload dimensions for the bank-kernel grid: all-remainder (3),
+/// whole 4-lane blocks (16), and the heap-spilled vector point (64).
+const BANK_DIMS: [usize; 3] = [3, 16, 64];
+
+fn run_all(
+    blocks: usize,
+    only: &str,
+    sim_threads: usize,
+    batch_tenants: usize,
+) -> (Vec<Kernel>, Value) {
     let mut kernels = Vec::new();
+    let mut partition_decision = Value::Null;
     let push = |kernels: &mut Vec<Kernel>, name: String, (ns, allocs): (f64, f64)| {
         println!("  {name}: {ns:.1} ns/round, {allocs:.2} allocs/round");
         kernels.push(Kernel {
@@ -284,6 +402,28 @@ fn run_all(blocks: usize, only: &str, sim_threads: usize, batch_tenants: usize) 
         if only.is_empty() || name.contains(only) {
             let graph = torus2d(1000, 1000);
             let data = InitialData::uniform_random(graph.len(), AggregateKind::Average, SEED);
+            // What the measured-cost auto-partitioner would pick for this
+            // topology on this machine, recorded next to the pinned count
+            // the kernel actually runs with (pinning keeps the RNG
+            // streams — and thus the baseline — machine-independent).
+            let auto_plan = SimOptions {
+                threads: sim_threads,
+                ..SimOptions::default()
+            }
+            .partition_plan(graph.len(), graph.arc_count());
+            println!(
+                "  partition decision for torus1000x1000: pinned 16, auto-measured {} ({})",
+                auto_plan.partitions,
+                auto_plan.source.as_str()
+            );
+            partition_decision = Value::Object(vec![
+                ("kernel".to_string(), Value::String(name.clone())),
+                (
+                    "pinned_partitions".to_string(),
+                    serde_json::to_value(16u64).unwrap(),
+                ),
+                ("auto".to_string(), serde_json::to_value(auto_plan).unwrap()),
+            ]);
             let options = SimOptions {
                 partitions: 16,
                 threads: sim_threads,
@@ -327,6 +467,25 @@ fn run_all(blocks: usize, only: &str, sim_threads: usize, batch_tenants: usize) 
                 PcfMsg::<f64>::decode_frame(&frame).unwrap()
             });
             push(&mut kernels, name, m);
+        }
+    }
+    // Flow-bank component kernels: the componentwise inner loops every
+    // PF/PCF bank operation reduces to, in their forced-SIMD and scalar
+    // variants side by side. `fold2` is the PCF hardened fold — the
+    // kernel the ≥1.3× SIMD acceptance gate (`--simd-ab`) is anchored
+    // to. Pure slice arithmetic, so every entry is accountable to zero
+    // allocations.
+    {
+        const BANK_OPS: u64 = 1_000_000;
+        for dim in BANK_DIMS {
+            for (kname, mut op) in bank_kernel_ops(dim) {
+                let name = format!("bank_kernels/{kname}/dim{dim}");
+                if !only.is_empty() && !name.contains(only) {
+                    continue;
+                }
+                let m = time_ops(BANK_OPS, blocks, &mut op);
+                push(&mut kernels, name, m);
+            }
         }
     }
     // Multi-tenant batch kernel: `--batch-tenants` (default 10k)
@@ -381,10 +540,50 @@ fn run_all(blocks: usize, only: &str, sim_threads: usize, batch_tenants: usize) 
             push(&mut kernels, name, (best, allocs));
         }
     }
-    kernels
+    (kernels, partition_decision)
 }
 
-fn report_json(kernels: &[Kernel], blocks: usize) -> Value {
+/// Interleaved SIMD-vs-scalar A/B harness over the flow-bank kernel
+/// grid. Each rep times one SIMD block then one scalar block back to
+/// back and records the pair's scalar/SIMD ratio; the reported figure is
+/// the median ratio, so a scheduler hiccup perturbs one pair instead of
+/// biasing a whole side. Returns `(kernel, dim, median_ratio)` rows.
+fn run_simd_ab(ops: u64, reps: usize) -> Vec<(String, usize, f64)> {
+    let mut rows = Vec::new();
+    for dim in BANK_DIMS {
+        let mut entries = bank_kernel_ops(dim);
+        // Entries come in simd/scalar pairs, in that order.
+        while !entries.is_empty() {
+            let (simd_name, mut simd_op) = entries.remove(0);
+            let (_, mut scalar_op) = entries.remove(0);
+            let kernel = simd_name.trim_end_matches("/simd").to_string();
+            let time_block = |op: &mut Box<dyn FnMut() -> f64>| {
+                let start = Instant::now();
+                for _ in 0..ops {
+                    std::hint::black_box(op());
+                }
+                start.elapsed().as_nanos() as f64 / ops as f64
+            };
+            // Warm both paths before the first measured pair.
+            time_block(&mut simd_op);
+            time_block(&mut scalar_op);
+            let mut ratios: Vec<f64> = (0..reps)
+                .map(|_| {
+                    let simd_ns = time_block(&mut simd_op);
+                    let scalar_ns = time_block(&mut scalar_op);
+                    scalar_ns / simd_ns
+                })
+                .collect();
+            ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = ratios[ratios.len() / 2];
+            println!("  bank_kernels/{kernel}/dim{dim}: median scalar/simd ratio {median:.2}x");
+            rows.push((kernel, dim, median));
+        }
+    }
+    rows
+}
+
+fn report_json(kernels: &[Kernel], blocks: usize, partition_decision: Value) -> Value {
     let entries: Vec<Value> = kernels
         .iter()
         .map(|k| {
@@ -404,13 +603,17 @@ fn report_json(kernels: &[Kernel], blocks: usize) -> Value {
     Value::Object(vec![
         (
             "schema".to_string(),
-            Value::String("gr-bench-report/v2".to_string()),
+            Value::String("gr-bench-report/v3".to_string()),
         ),
         ("seed".to_string(), serde_json::to_value(SEED).unwrap()),
         (
             "blocks".to_string(),
             serde_json::to_value(blocks as u64).unwrap(),
         ),
+        ("simd_path".to_string(), {
+            Value::String(kernels::active_path().to_string())
+        }),
+        ("partition_decision".to_string(), partition_decision),
         ("kernels".to_string(), Value::Array(entries)),
     ])
 }
@@ -465,24 +668,58 @@ fn compare(kernels: &[Kernel], baseline: &Value, tolerance: f64) -> Vec<String> 
 
 fn main() {
     let opts = Opts::from_env();
-    let out = opts.string("out", "BENCH_5.json");
+    let out = opts.string("out", "BENCH_6.json");
     let baseline_path = opts.string("baseline", "");
     let tolerance = opts.f64("tolerance", 0.25);
     let blocks = opts.u64("blocks", 24) as usize;
     let only = opts.string("only", "");
     let sim_threads = opts.u64("sim-threads", 1) as usize;
     let batch_tenants = opts.u64("batch-tenants", 10_000) as usize;
+    let simd_ab = opts.bool("simd-ab", false);
+    let simd_min_ratio = opts.f64("simd-min-ratio", 1.3);
     opts.finish();
     assert!(blocks >= 1, "--blocks must be at least 1");
     assert!(tolerance >= 0.0, "--tolerance must be non-negative");
     assert!(sim_threads >= 1, "--sim-threads must be at least 1");
     assert!(batch_tenants >= 1, "--batch-tenants must be at least 1");
 
+    if simd_ab {
+        if !kernels::simd_supported() {
+            println!("simd-ab: no vector path on this target, nothing to gate (skipping)");
+            return;
+        }
+        println!(
+            "simd-ab: interleaved A/B over the flow-bank grid \
+             ({blocks} pairs/kernel, gate {simd_min_ratio:.2}x on fold2 vector dims)"
+        );
+        let rows = run_simd_ab(1_000_000, blocks);
+        // The gate: the PCF hardened fold must show the SIMD win at a
+        // vector payload dimension (dim > LANES, i.e. 16 or 64 here).
+        let best_fold2 = rows
+            .iter()
+            .filter(|(k, dim, _)| k == "fold2" && *dim > gr_reduction::kernels::LANES)
+            .map(|&(_, _, r)| r)
+            .fold(0.0f64, f64::max);
+        if best_fold2 < simd_min_ratio {
+            eprintln!(
+                "simd-ab FAILED: best fold2 vector-dim median ratio {best_fold2:.2}x \
+                 is below the {simd_min_ratio:.2}x gate"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "simd-ab: PASS — fold2 vector-dim median ratio {best_fold2:.2}x \
+             >= {simd_min_ratio:.2}x"
+        );
+        return;
+    }
+
     println!("bench-report: timing kernels (filter: {only:?}, sim threads: {sim_threads})");
-    let kernels = run_all(blocks, &only, sim_threads, batch_tenants);
+    let (kernels, partition_decision) = run_all(blocks, &only, sim_threads, batch_tenants);
     assert!(!kernels.is_empty(), "--only {only:?} matched no kernel");
 
-    let json = serde_json::to_string_pretty(&report_json(&kernels, blocks)).unwrap();
+    let json =
+        serde_json::to_string_pretty(&report_json(&kernels, blocks, partition_decision)).unwrap();
     std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("writing {out:?}: {e}"));
     println!("wrote {out}");
 

@@ -144,6 +144,14 @@ fn result_json(r: &ScenarioResult) -> Value {
             ("detail".to_string(), v.detail.to_value()),
         ]),
     };
+    // The partition plan: count + source always, the cost-model terms
+    // only when the measured auto-partitioner made the choice (model
+    // floats are machine-measured, so pinned-baseline scenarios keep
+    // `partitions` explicit and this stays byte-deterministic).
+    let partitions = match &r.partitions {
+        None => Value::Null,
+        Some(p) => p.to_value(),
+    };
     Value::Object(vec![
         ("hash".to_string(), r.hash.to_value()),
         ("template".to_string(), r.template.to_value()),
@@ -153,6 +161,7 @@ fn result_json(r: &ScenarioResult) -> Value {
         ("rounds".to_string(), r.rounds.to_value()),
         ("final_err".to_string(), r.final_err.to_value()),
         ("stats".to_string(), r.stats.to_value()),
+        ("partitions".to_string(), partitions),
         ("violation".to_string(), violation),
     ])
 }
@@ -325,6 +334,7 @@ mod tests {
             rounds: 10,
             final_err: 0.0,
             stats: Default::default(),
+            partitions: None,
             violation,
         };
         let viol = |inv: Invariant| {

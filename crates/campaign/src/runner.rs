@@ -45,6 +45,12 @@ pub struct ScenarioResult {
     pub final_err: f64,
     /// Transport counters.
     pub stats: SimStats,
+    /// How the engine partition count was chosen (explicit override,
+    /// single-stream default, or the measured cost model — with the
+    /// model's probe constants when measured). `None` for multi-tenant
+    /// batch scenarios, which run on the batch executor instead of one
+    /// partitioned simulator.
+    pub partitions: Option<gr_netsim::PartitionPlan>,
     /// First invariant violation, if any.
     pub violation: Option<Violation>,
 }
@@ -254,6 +260,7 @@ fn drive<P: Payload, Pr: ReductionProtocol>(
                 rounds: round,
                 final_err: err,
                 stats: sim.stats(),
+                partitions: Some(*sim.partition_plan()),
                 violation,
             };
             let trace = sim.trace().cloned();
@@ -411,6 +418,7 @@ fn drive_batch<P: TenantProtocol + ReductionProtocol>(
                 rounds: round,
                 final_err,
                 stats,
+                partitions: None,
                 violation,
             };
         }

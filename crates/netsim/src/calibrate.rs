@@ -1,0 +1,191 @@
+//! One-shot machine-cost calibration for the auto-partitioner.
+//!
+//! The partitioned round engine trades per-partition parallel work
+//! against fixed coordination overhead: each round runs a few
+//! [`WorkerPool::run`] phases (one dispatch + barrier each) and merges
+//! `p²` per-(src,dst)-partition mailbox lanes in fixed order. Whether a
+//! given partition count pays off therefore depends on three *machine*
+//! quantities, none of which a node-count threshold can know:
+//!
+//! * `component_ns` — cost of one streaming componentwise `f64` op (the
+//!   flow-bank kernels that dominate per-arc work);
+//! * `barrier_ns` / `job_ns` — fixed cost of one pool phase, plus the
+//!   marginal cost of each dispatched job;
+//! * `lane_ns` — bookkeeping cost of visiting one mailbox lane during
+//!   the merge, even when it is empty.
+//!
+//! [`MachineCosts::probe`] measures all three directly on this process
+//! (minimum over repeated timed blocks, so scheduler noise inflates
+//! nothing), and the result is cached per thread count for the life of
+//! the process — the probe runs at most once per distinct `threads`
+//! value, only when an auto-partition decision actually needs it.
+//! Explicit `partitions: N` configurations never probe.
+//!
+//! The probe takes well under ten milliseconds. Timing a probe makes the
+//! *auto* decision machine-dependent by design (that is the point); the
+//! partition count actually chosen is reported through
+//! [`PartitionPlan`](crate::PartitionPlan) so runs remain auditable, and
+//! anything that must be reproducible across machines pins `partitions`
+//! explicitly.
+//!
+//! [`WorkerPool::run`]: crate::WorkerPool::run
+
+use crate::par::WorkerPool;
+use std::hint::black_box;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Measured per-operation costs of this machine, in nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct MachineCosts {
+    /// One streaming componentwise `f64` op (load/add/store amortized).
+    pub component_ns: f64,
+    /// Fixed cost of one `WorkerPool::run` dispatch + barrier at the
+    /// probed thread count.
+    pub barrier_ns: f64,
+    /// Marginal cost per dispatched job within one pool phase.
+    pub job_ns: f64,
+    /// Cost of visiting one mailbox lane during the merge sweep.
+    pub lane_ns: f64,
+}
+
+/// Floor applied to every probed quantity so a degenerate timer (or a
+/// virtualized clock) cannot report a zero cost and divide the model.
+const MIN_NS: f64 = 0.01;
+
+impl MachineCosts {
+    /// Measure this machine. `threads` is the worker count the simulator
+    /// would use; the barrier probe spins up (and tears down) a pool of
+    /// that size.
+    pub fn probe(threads: usize) -> MachineCosts {
+        MachineCosts {
+            component_ns: probe_component_ns(),
+            barrier_ns: 0.0,
+            job_ns: 0.0,
+            lane_ns: probe_lane_ns(),
+        }
+        .with_pool_costs(threads)
+    }
+
+    fn with_pool_costs(mut self, threads: usize) -> MachineCosts {
+        let (barrier_ns, job_ns) = probe_pool_ns(threads);
+        self.barrier_ns = barrier_ns;
+        self.job_ns = job_ns;
+        self
+    }
+}
+
+/// Process-wide probe cache, keyed by thread count (the barrier cost is
+/// the only thread-dependent term, but one entry per count keeps the
+/// bookkeeping trivial — auto-partitioned runs use one or two counts).
+pub(crate) fn cached(threads: usize) -> MachineCosts {
+    static CACHE: OnceLock<Mutex<Vec<(usize, MachineCosts)>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    let mut guard = cache.lock().unwrap();
+    if let Some((_, costs)) = guard.iter().find(|(t, _)| *t == threads) {
+        return *costs;
+    }
+    let costs = MachineCosts::probe(threads);
+    guard.push((threads, costs));
+    costs
+}
+
+/// Minimum wall-clock over `reps` runs of `f`, in nanoseconds.
+fn min_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Streaming componentwise add over a buffer sized like one partition's
+/// worth of hot flow rows — the same memory shape the bank kernels see.
+fn probe_component_ns() -> f64 {
+    const N: usize = 4096;
+    let mut dst = vec![0.5f64; N];
+    let src: Vec<f64> = (0..N).map(|k| k as f64 * 1e-3).collect();
+    // Warm the cache and the branch predictors once.
+    let ns = {
+        let mut run = || {
+            let (d, s) = (black_box(dst.as_mut_slice()), black_box(src.as_slice()));
+            for k in 0..N {
+                d[k] += s[k];
+            }
+            black_box(&mut dst);
+        };
+        run();
+        min_ns(64, run)
+    };
+    (ns / N as f64).max(MIN_NS)
+}
+
+/// One pool dispatch + barrier, and the marginal per-job cost, from two
+/// measurements at different job counts (linear fit through two points).
+fn probe_pool_ns(threads: usize) -> (f64, f64) {
+    let pool = WorkerPool::new(threads);
+    let lo_jobs = threads.max(1);
+    let hi_jobs = lo_jobs * 16;
+    let lo = min_ns(48, || {
+        pool.run(lo_jobs, |j| {
+            black_box(j);
+        })
+    });
+    let hi = min_ns(48, || {
+        pool.run(hi_jobs, |j| {
+            black_box(j);
+        })
+    });
+    let job_ns = ((hi - lo) / (hi_jobs - lo_jobs).max(1) as f64).max(MIN_NS);
+    let barrier_ns = (lo - job_ns * lo_jobs as f64).max(MIN_NS);
+    (barrier_ns, job_ns)
+}
+
+/// Per-lane merge bookkeeping: sweep a lane table the way the round
+/// merge does (visit every lane, skip the empty ones).
+fn probe_lane_ns() -> f64 {
+    const LANES: usize = 1024;
+    let lanes: Vec<Vec<u64>> = (0..LANES)
+        .map(|i| {
+            if i % 64 == 0 {
+                vec![i as u64]
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    let mut sink = 0u64;
+    let ns = min_ns(64, || {
+        for lane in black_box(&lanes) {
+            if !lane.is_empty() {
+                sink = sink.wrapping_add(lane[0]);
+            }
+        }
+        black_box(sink);
+    });
+    (ns / LANES as f64).max(MIN_NS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_yields_positive_finite_costs() {
+        let c = MachineCosts::probe(1);
+        for v in [c.component_ns, c.barrier_ns, c.job_ns, c.lane_ns] {
+            assert!(v.is_finite() && v >= MIN_NS, "cost {v} out of range");
+        }
+    }
+
+    #[test]
+    fn cache_probes_once_per_thread_count() {
+        let a = cached(1);
+        let b = cached(1);
+        // Bit-identical: the second call must be the cached value, not a
+        // fresh probe (which would almost surely differ).
+        assert_eq!(a, b);
+    }
+}

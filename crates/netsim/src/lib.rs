@@ -34,6 +34,7 @@
 //! 5. surviving messages are delivered in send order
 //!    ([`Protocol::on_receive`]).
 
+mod calibrate;
 mod delivery;
 mod faults;
 mod options;
@@ -43,12 +44,16 @@ mod schedule;
 mod sim;
 mod trace;
 
+pub use calibrate::MachineCosts;
 pub use delivery::{Delivery, RingDelivery};
 pub use faults::{
     BurstModel, Corrupt, FaultPlan, LinkFailure, LinkHeal, NetPartition, NodeCrash, NodeRestart,
     PartitionHeal,
 };
-pub use options::{Activation, DelayModel, DetectorModel, SimConfigError, SimOptions};
+pub use options::{
+    Activation, DelayModel, DetectorModel, PartitionModel, PartitionPlan, PartitionSource,
+    SimConfigError, SimOptions,
+};
 pub use par::WorkerPool;
 pub use rng::{stream_rng, RngStream};
 pub use schedule::Schedule;

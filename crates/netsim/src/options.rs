@@ -230,13 +230,133 @@ impl Default for SimOptions {
 
 /// Node count at or above which `partitions: 0` auto-selects the
 /// partitioned engine (when the activation/delay model allows it).
+/// Below this, runs keep the classic single-stream engine and their
+/// historical RNG draws bit-for-bit — the cost model is never consulted.
 pub(crate) const AUTO_PARTITION_MIN_NODES: usize = 65_536;
-
-/// Target nodes per partition under auto-selection.
-pub(crate) const AUTO_PARTITION_TARGET: usize = 65_536;
 
 /// Upper bound on auto-selected partition count.
 pub(crate) const AUTO_PARTITION_MAX: usize = 64;
+
+/// Pool phases per partitioned round (send, deliver/merge, detector) —
+/// each one dispatch + barrier on the worker pool.
+const ROUND_PHASES: f64 = 3.0;
+
+/// Modeled componentwise ops per arc per round: both directions of the
+/// estimate scan plus the send/receive flow updates of a scalar-payload
+/// flow protocol. Vector payloads do proportionally more work per arc,
+/// which only strengthens the case the model makes from this floor.
+const ARC_OPS: f64 = 16.0;
+
+/// Modeled componentwise-op equivalents per node per round (scheduling,
+/// activation bookkeeping, estimate finalization).
+const NODE_OPS: f64 = 8.0;
+
+/// How the effective partition count was chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub enum PartitionSource {
+    /// `partitions: N` was set explicitly — the cost model is bypassed
+    /// entirely (no calibration probe runs).
+    Explicit,
+    /// `partitions: 0` but the run is not auto-eligible (asynchronous
+    /// activation, nonzero delay, or below the node floor): the classic
+    /// single-stream engine, bit-identical to history.
+    SingleStream,
+    /// `partitions: 0` on an auto-eligible topology: the measured cost
+    /// model picked the count; its inputs are in
+    /// [`PartitionPlan::model`].
+    AutoMeasured,
+}
+
+impl PartitionSource {
+    /// Stable lowercase label for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PartitionSource::Explicit => "explicit",
+            PartitionSource::SingleStream => "single-stream",
+            PartitionSource::AutoMeasured => "auto-measured",
+        }
+    }
+}
+
+/// The measured cost model behind one [`PartitionSource::AutoMeasured`]
+/// decision: machine constants from the calibration probe, topology
+/// shape, and the predicted per-round cost at the chosen count vs. the
+/// single-stream baseline. All times in nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct PartitionModel {
+    /// Topology node count.
+    pub nodes: usize,
+    /// Topology directed-arc count.
+    pub arcs: usize,
+    /// Worker threads available to the engine.
+    pub threads: usize,
+    /// Probed cost of one streaming componentwise `f64` op.
+    pub component_ns: f64,
+    /// Probed fixed cost of one pool dispatch + barrier.
+    pub barrier_ns: f64,
+    /// Probed marginal cost per dispatched job.
+    pub job_ns: f64,
+    /// Probed cost of visiting one mailbox lane during the merge.
+    pub lane_ns: f64,
+    /// Predicted per-round cost at the chosen partition count.
+    pub predicted_ns: f64,
+    /// Predicted per-round cost of the single-stream engine (`p = 1`).
+    pub single_stream_ns: f64,
+}
+
+/// The resolved partitioning of one simulator run: the effective count,
+/// how it was chosen, and (for measured-auto decisions) the model that
+/// chose it. Surfaced by
+/// [`Simulator::partition_plan`](crate::Simulator::partition_plan) and
+/// embedded in campaign / transport JSON reports.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct PartitionPlan {
+    /// Effective partition count (≥ 1; this is simulation identity).
+    pub partitions: usize,
+    /// How the count was chosen.
+    pub source: PartitionSource,
+    /// Cost-model details, present only for [`PartitionSource::AutoMeasured`].
+    pub model: Option<PartitionModel>,
+}
+
+impl PartitionPlan {
+    fn explicit(partitions: usize) -> PartitionPlan {
+        PartitionPlan {
+            partitions,
+            source: PartitionSource::Explicit,
+            model: None,
+        }
+    }
+
+    fn single_stream() -> PartitionPlan {
+        PartitionPlan {
+            partitions: 1,
+            source: PartitionSource::SingleStream,
+            model: None,
+        }
+    }
+}
+
+/// Predicted per-round wall-clock of the partitioned engine at `p`
+/// partitions: parallel flow work over `min(p, threads)` workers, plus
+/// `ROUND_PHASES` pool phases of `p` jobs each, plus the `p²` mailbox
+/// lane sweep. `p = 1` has no pool and no lanes — pure serial work.
+fn predicted_round_ns(
+    costs: &crate::MachineCosts,
+    nodes: usize,
+    arcs: usize,
+    threads: usize,
+    p: usize,
+) -> f64 {
+    let work = (arcs as f64 * ARC_OPS + nodes as f64 * NODE_OPS) * costs.component_ns;
+    if p == 1 {
+        return work;
+    }
+    let workers = p.min(threads.max(1)) as f64;
+    let phase_overhead = ROUND_PHASES * (costs.barrier_ns + costs.job_ns * p as f64);
+    let lane_sweep = costs.lane_ns * (p * p) as f64;
+    work / workers + phase_overhead + lane_sweep
+}
 
 impl SimOptions {
     /// Check the option combination for internal consistency.
@@ -261,18 +381,93 @@ impl SimOptions {
         Ok(())
     }
 
-    /// Resolve the effective partition count for an `n`-node topology.
-    /// Assumes `validate()` passed.
-    pub(crate) fn resolve_partitions(&self, n: usize) -> usize {
-        let auto_eligible = self.activation == Activation::Synchronous
-            && self.delay.max_delay() == 0
-            && n >= AUTO_PARTITION_MIN_NODES;
-        let p = match self.partitions {
-            0 if auto_eligible => n.div_ceil(AUTO_PARTITION_TARGET).min(AUTO_PARTITION_MAX),
-            0 | 1 => 1,
-            k => k,
+    /// Resolve the effective partitioning for a topology of `nodes`
+    /// nodes and `arcs` directed arcs. Assumes `validate()` passed.
+    ///
+    /// Explicit `partitions: N` and non-auto-eligible runs never touch
+    /// the cost model (and never run the calibration probe); only
+    /// `partitions: 0` on a large synchronous zero-delay topology
+    /// probes the machine and minimizes the modeled round cost.
+    pub fn partition_plan(&self, nodes: usize, arcs: usize) -> PartitionPlan {
+        if self.auto_eligible(nodes) {
+            let costs = crate::calibrate::cached(self.threads);
+            self.partition_plan_with_costs(nodes, arcs, &costs)
+        } else {
+            self.fixed_plan(nodes)
+        }
+    }
+
+    /// [`partition_plan`](Self::partition_plan) with the machine costs
+    /// supplied by the caller instead of the cached calibration probe —
+    /// deterministic, for tests and for reporting hypotheticals. The
+    /// costs are ignored (and the result identical to `partition_plan`)
+    /// unless the configuration is auto-eligible.
+    pub fn partition_plan_with_costs(
+        &self,
+        nodes: usize,
+        arcs: usize,
+        costs: &crate::MachineCosts,
+    ) -> PartitionPlan {
+        if !self.auto_eligible(nodes) {
+            return self.fixed_plan(nodes);
+        }
+        let threads = self.threads.max(1);
+        let max_p = AUTO_PARTITION_MAX.min(nodes.max(1));
+        // Candidate counts: powers of two up to the cap, the thread
+        // count itself (the parallelism knee), and the legacy 64Ki-nodes
+        // per-partition point, all deduplicated via the scan below.
+        let mut best_p = 1usize;
+        let mut best_ns = f64::INFINITY;
+        let mut consider = |p: usize| {
+            if p == 0 || p > max_p {
+                return;
+            }
+            let ns = predicted_round_ns(costs, nodes, arcs, threads, p);
+            // Strict `<`: ties keep the smaller count (fewer RNG
+            // streams, less merge state).
+            if ns < best_ns {
+                best_ns = ns;
+                best_p = p;
+            }
         };
-        p.clamp(1, n.max(1))
+        let mut p = 1;
+        while p <= max_p {
+            consider(p);
+            p *= 2;
+        }
+        consider(threads);
+        consider(nodes.div_ceil(AUTO_PARTITION_MIN_NODES));
+        PartitionPlan {
+            partitions: best_p,
+            source: PartitionSource::AutoMeasured,
+            model: Some(PartitionModel {
+                nodes,
+                arcs,
+                threads,
+                component_ns: costs.component_ns,
+                barrier_ns: costs.barrier_ns,
+                job_ns: costs.job_ns,
+                lane_ns: costs.lane_ns,
+                predicted_ns: best_ns,
+                single_stream_ns: predicted_round_ns(costs, nodes, arcs, threads, 1),
+            }),
+        }
+    }
+
+    fn auto_eligible(&self, nodes: usize) -> bool {
+        self.partitions == 0
+            && self.activation == Activation::Synchronous
+            && self.delay.max_delay() == 0
+            && nodes >= AUTO_PARTITION_MIN_NODES
+    }
+
+    /// The non-model outcomes: explicit counts (clamped to the node
+    /// count, as before) and ineligible-auto single-stream runs.
+    fn fixed_plan(&self, nodes: usize) -> PartitionPlan {
+        match self.partitions {
+            0 => PartitionPlan::single_stream(),
+            k => PartitionPlan::explicit(k.clamp(1, nodes.max(1))),
+        }
     }
 }
 

@@ -504,6 +504,9 @@ pub struct Simulator<'g, P: Protocol> {
     /// engine (byte-identical to the pre-partitioning simulator), `≥ 2`
     /// the partitioned engine with per-partition RNG streams.
     partitions: usize,
+    /// How `partitions` was chosen (explicit / single-stream /
+    /// measured-cost auto), with the model inputs when measured.
+    partition_plan: crate::PartitionPlan,
     /// `part_starts[p]` = first node of partition `p` (`partitions + 1`
     /// entries); empty when `partitions == 1`.
     part_starts: Vec<NodeId>,
@@ -617,7 +620,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             DetectorModel::Oracle => (false, 0),
             DetectorModel::Timeout { window } => (true, window),
         };
-        let partitions = options.resolve_partitions(n);
+        let partition_plan = options.partition_plan(n, graph.arc_count());
+        let partitions = partition_plan.partitions;
         let part_starts: Vec<NodeId> = if partitions > 1 {
             (0..=partitions)
                 .map(|p| (p * n / partitions) as NodeId)
@@ -732,6 +736,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             },
             det,
             partitions,
+            partition_plan,
             part_starts,
             parts,
             lanes: (0..nlanes).map(|_| Vec::new()).collect(),
@@ -2034,6 +2039,13 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// Resolved partition count (`1` = classic engine).
     pub fn partitions(&self) -> usize {
         self.partitions
+    }
+
+    /// How the partition count was chosen: explicitly, by the ineligible
+    /// single-stream default, or by the measured cost model (in which
+    /// case the probe constants and predicted costs are included).
+    pub fn partition_plan(&self) -> &crate::PartitionPlan {
+        &self.partition_plan
     }
 
     /// Execute `rounds` rounds.

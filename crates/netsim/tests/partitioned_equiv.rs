@@ -11,8 +11,8 @@
 //! constants, and a third checks the typed configuration errors.
 
 use gr_netsim::{
-    Activation, DelayModel, DetectorModel, FaultPlan, LinkFailure, LinkHeal, NodeCrash,
-    NodeRestart, Protocol, SimConfigError, SimOptions, Simulator,
+    Activation, DelayModel, DetectorModel, FaultPlan, LinkFailure, LinkHeal, MachineCosts,
+    NodeCrash, NodeRestart, PartitionSource, Protocol, SimConfigError, SimOptions, Simulator,
 };
 use gr_topology::{hypercube, ring, torus2d, Graph, NodeId};
 use proptest::prelude::*;
@@ -246,7 +246,16 @@ fn auto_partitioning_kicks_in_at_scale_only() {
         1,
         "small graphs stay on the classic engine"
     );
+    assert_eq!(
+        sim.partition_plan().source,
+        PartitionSource::SingleStream,
+        "below the node floor the cost model is never consulted"
+    );
+    assert!(sim.partition_plan().model.is_none());
 
+    // At scale with `partitions: 0` the measured model decides. The
+    // count depends on this machine (that is the point), but the plan
+    // must say so, stay within the engine's bounds, and still run.
     let big = ring(100_000);
     let mut sim = Simulator::with_options(
         &big,
@@ -255,10 +264,97 @@ fn auto_partitioning_kicks_in_at_scale_only() {
         1,
         SimOptions::default(),
     );
-    assert_eq!(sim.partitions(), 2, "100k nodes → two 64Ki-sized blocks");
+    let plan = *sim.partition_plan();
+    assert_eq!(plan.source, PartitionSource::AutoMeasured);
+    assert!((1..=64).contains(&plan.partitions));
+    let model = plan.model.expect("auto-measured plans carry their model");
+    assert_eq!((model.nodes, model.arcs), (100_000, 200_000));
+    assert!(model.predicted_ns > 0.0 && model.predicted_ns <= model.single_stream_ns);
     sim.run(2);
     // Every node sends each round; PartMix replies add more on top.
     assert!(sim.stats().sent >= 2 * 100_000);
+}
+
+/// The cost model itself, pinned with synthetic machine costs so the
+/// choice is deterministic regardless of what hardware runs the tests.
+#[test]
+fn cost_model_choice_is_deterministic_under_fixed_costs() {
+    let opts = |threads: usize| SimOptions {
+        threads,
+        ..SimOptions::default()
+    };
+    // Cheap coordination, 8 workers: the win from parallel flow work
+    // dominates and the model picks more than one partition, but never
+    // meaningfully more than the parallelism on offer.
+    let cheap_coord = MachineCosts {
+        component_ns: 1.0,
+        barrier_ns: 50.0,
+        job_ns: 5.0,
+        lane_ns: 5.0,
+    };
+    let plan = opts(8).partition_plan_with_costs(1_000_000, 2_000_000, &cheap_coord);
+    assert_eq!(plan.source, PartitionSource::AutoMeasured);
+    assert!(
+        (8..=16).contains(&plan.partitions),
+        "8 cheap workers → about 8 partitions, got {}",
+        plan.partitions
+    );
+
+    // One worker: partitioning buys zero parallel speedup and still
+    // pays barriers and the lane sweep — the model must keep p = 1.
+    let plan = opts(1).partition_plan_with_costs(1_000_000, 2_000_000, &cheap_coord);
+    assert_eq!(plan.partitions, 1);
+    assert_eq!(plan.source, PartitionSource::AutoMeasured);
+
+    // Pathologically expensive coordination: even with many workers the
+    // overhead swamps the parallel win and the model stays serial.
+    let dear_coord = MachineCosts {
+        component_ns: 0.01,
+        barrier_ns: 1e9,
+        job_ns: 1e6,
+        lane_ns: 1e6,
+    };
+    let plan = opts(16).partition_plan_with_costs(1_000_000, 2_000_000, &dear_coord);
+    assert_eq!(plan.partitions, 1);
+
+    // Same inputs → same plan, bit for bit (no hidden probe, no RNG).
+    let a = opts(8).partition_plan_with_costs(1_000_000, 2_000_000, &cheap_coord);
+    let b = opts(8).partition_plan_with_costs(1_000_000, 2_000_000, &cheap_coord);
+    assert_eq!(a, b);
+}
+
+/// Explicit `partitions: N` bypasses the model entirely: the plan is
+/// marked explicit, carries no model, and ignores the machine costs —
+/// this is what keeps every pinned fingerprint and golden hash
+/// machine-independent.
+#[test]
+fn explicit_partitions_bypass_the_cost_model() {
+    let g = ring(100_000);
+    let sim = Simulator::with_options(
+        &g,
+        PartMix::new(100_000),
+        FaultPlan::none(),
+        1,
+        options(4, 4, DetectorModel::Oracle),
+    );
+    assert_eq!(sim.partitions(), 4);
+    let plan = sim.partition_plan();
+    assert_eq!(plan.source, PartitionSource::Explicit);
+    assert!(plan.model.is_none(), "explicit plans never probe or model");
+
+    // Even when handed absurd costs, an explicit configuration returns
+    // the explicit count — the costs argument is dead on this path.
+    let silly = MachineCosts {
+        component_ns: 1e12,
+        barrier_ns: 1e12,
+        job_ns: 1e12,
+        lane_ns: 1e12,
+    };
+    let plan =
+        options(4, 4, DetectorModel::Oracle).partition_plan_with_costs(100_000, 200_000, &silly);
+    assert_eq!(plan.partitions, 4);
+    assert_eq!(plan.source, PartitionSource::Explicit);
+    assert!(plan.model.is_none());
 }
 
 // ---- pinned partitioned-run hashes ------------------------------------

@@ -17,12 +17,15 @@
 //! Weights and per-arc control words stay in small arrays-of-structs next
 //! to the bank; only the `dim`-sized value vectors move here.
 //!
-//! The free functions below are the componentwise kernels the protocols
-//! run over bank slices. Each one performs *exactly* the per-component
-//! IEEE-754 operations (in the same order) as the `Mass`-level code it
-//! replaced, so runs are bit-identical to the array-of-structs
-//! implementation — pinned by the golden-schedule hashes and the
-//! `payload_equiv` proptest.
+//! The componentwise kernels the protocols run over bank slices live in
+//! [`crate::kernels`] in lane-blocked SIMD form (AVX2/NEON with a
+//! structurally identical scalar fallback) and are re-exported here
+//! under their historical `bank::` names. Each one performs *exactly*
+//! the per-component IEEE-754 operations (in the same order) as the
+//! `Mass`-level code it replaced, so runs are bit-identical to the
+//! array-of-structs implementation — pinned by the golden-schedule
+//! hashes, the `payload_equiv` proptest, and the `kernel_equiv`
+//! SIMD-vs-scalar sweep.
 
 /// One 64-byte cache line of components. The slab is a `Vec<Line>` so the
 /// allocation is 64-byte aligned without any unstable allocator API; it is
@@ -164,80 +167,11 @@ impl FlowBank {
     }
 }
 
-/// `dst[k] += src[k]`.
-#[inline]
-pub(crate) fn add(dst: &mut [f64], src: &[f64]) {
-    debug_assert_eq!(dst.len(), src.len());
-    for (a, b) in dst.iter_mut().zip(src) {
-        *a += *b;
-    }
-}
-
-/// `dst[k] -= src[k]`.
-#[inline]
-pub(crate) fn sub(dst: &mut [f64], src: &[f64]) {
-    debug_assert_eq!(dst.len(), src.len());
-    for (a, b) in dst.iter_mut().zip(src) {
-        *a -= *b;
-    }
-}
-
-/// `dst[k] = -src[k]` — the overwrite-with-negation a receiver performs on
-/// its mirror flow (exact: negation never rounds).
-#[inline]
-pub(crate) fn store_neg(dst: &mut [f64], src: &[f64]) {
-    debug_assert_eq!(dst.len(), src.len());
-    for (a, b) in dst.iter_mut().zip(src) {
-        *a = -*b;
-    }
-}
-
-/// `dst[k] -= a[k] + b[k]` — the fused form of `delta = a + b; dst -= delta`
-/// (bit-identical: each component's two operations are unchanged and
-/// independent across components).
-#[inline]
-pub(crate) fn sub_sum(dst: &mut [f64], a: &[f64], b: &[f64]) {
-    debug_assert_eq!(dst.len(), a.len());
-    debug_assert_eq!(dst.len(), b.len());
-    for ((d, x), y) in dst.iter_mut().zip(a).zip(b) {
-        *d -= *x + *y;
-    }
-}
-
-/// `dst -= row` for each `dst.len()`-sized row of `rows`, in row order —
-/// the fused form of a per-slot [`sub`] loop over a single-field bank
-/// (bit-identical: the same per-component subtractions in the same order,
-/// only the slice bookkeeping is hoisted).
-#[inline]
-pub(crate) fn sub_rows(dst: &mut [f64], rows: &[f64]) {
-    let dim = dst.len();
-    debug_assert_eq!(rows.len() % dim, 0);
-    for row in rows.chunks_exact(dim) {
-        sub(dst, row);
-    }
-}
-
-/// For each `fields * dst.len()`-sized arc group of `rows`, subtract the
-/// group's first two fields from `dst` in field order — the fused form of
-/// the per-slot `sub(F1); sub(F2)` estimate loop over a multi-field bank
-/// (bit-identical for the same reason as [`sub_rows`]).
-#[inline]
-pub(crate) fn sub_leading2_rows(dst: &mut [f64], rows: &[f64], fields: usize) {
-    let dim = dst.len();
-    debug_assert!(fields >= 2);
-    debug_assert_eq!(rows.len() % (fields * dim), 0);
-    for group in rows.chunks_exact(fields * dim) {
-        sub(dst, &group[..dim]);
-        sub(dst, &group[dim..2 * dim]);
-    }
-}
-
-/// `true` iff `a[k] == -b[k]` for every component (IEEE semantics: signed
-/// zeros compare equal, NaN never).
-#[inline]
-pub(crate) fn is_neg(a: &[f64], b: &[f64]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| *x == -*y)
-}
+#[cfg(test)]
+pub(crate) use crate::kernels::sub;
+pub(crate) use crate::kernels::{
+    add, add_sum, fold1, fold2, is_neg, store_neg, sub_leading2_rows, sub_rows, sub_sum,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,998 @@
+//! Lane-blocked componentwise kernels over flow-bank slices.
+//!
+//! Every kernel here is *componentwise*: component `k` of the output
+//! depends only on component `k` of the inputs, with no cross-lane
+//! reduction and therefore no reassociation. Executing four components
+//! per step (one 256-bit vector of `f64`s) performs exactly the same
+//! IEEE-754 operations on exactly the same values as the scalar loop —
+//! only the issue order *across* components changes, which cannot change
+//! any component's result. SIMD execution is therefore bit-identical to
+//! scalar execution, which the golden-schedule hashes and the
+//! `kernel_equiv` proptests pin.
+//!
+//! Three implementations exist per kernel:
+//!
+//! * [`scalar`] — the fallback, written in the same lane-blocked shape
+//!   as the vector code (a 4-wide block loop plus a remainder loop) so
+//!   the two paths stay structurally comparable;
+//! * an AVX2 path (`x86_64`, runtime-detected via
+//!   `is_x86_feature_detected!`) using 4×`f64` `_mm256` vectors;
+//! * a NEON path (`aarch64`, baseline feature) using pairs of 2×`f64`
+//!   vectors per 4-wide block.
+//!
+//! The top-level functions dispatch through a cached flag. The SIMD path
+//! can be forced off two ways: the `force-scalar` cargo feature compiles
+//! the dispatch to scalar-only, and setting `GR_SIMD=0` in the
+//! environment disables it at startup (the CI scalar leg uses the env
+//! var so one binary exercises both paths). [`simd`] exposes the vector
+//! path directly for the A/B benches and equivalence tests.
+//!
+//! Negation is a sign-bit XOR (exact; never rounds). Equality uses
+//! ordered non-signaling compares (`_CMP_EQ_OQ`), matching scalar `==`:
+//! signed zeros compare equal, NaN never.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Components per block: one 256-bit vector of `f64`s.
+pub const LANES: usize = 4;
+
+const MODE_UNKNOWN: u8 = 0;
+const MODE_SIMD: u8 = 1;
+const MODE_SCALAR: u8 = 2;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNKNOWN);
+
+/// `true` iff this build and CPU have a vector path at all (ignores the
+/// `GR_SIMD` env override — see [`simd_enabled`] for the dispatch state).
+#[inline(always)]
+pub fn simd_supported() -> bool {
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    {
+        is_x86_feature_detected!("avx2")
+    }
+    #[cfg(all(target_arch = "aarch64", not(feature = "force-scalar")))]
+    {
+        true
+    }
+    #[cfg(any(
+        not(any(target_arch = "x86_64", target_arch = "aarch64")),
+        feature = "force-scalar"
+    ))]
+    {
+        false
+    }
+}
+
+/// `true` iff the dispatching kernels take the vector path: the CPU
+/// supports it, the `force-scalar` feature is off, and `GR_SIMD=0` was
+/// not set when first queried. Cached after the first call.
+#[inline(always)]
+pub fn simd_enabled() -> bool {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_SIMD => true,
+        MODE_SCALAR => false,
+        _ => init_mode(),
+    }
+}
+
+/// Name of the active dispatch path, for reports: `"avx2"`, `"neon"`, or
+/// `"scalar"`.
+pub fn active_path() -> &'static str {
+    if simd_enabled() {
+        if cfg!(target_arch = "x86_64") {
+            "avx2"
+        } else {
+            "neon"
+        }
+    } else {
+        "scalar"
+    }
+}
+
+#[cold]
+fn init_mode() -> bool {
+    let forced_off = std::env::var_os("GR_SIMD").is_some_and(|v| v == "0");
+    let on = !forced_off && simd_supported();
+    MODE.store(if on { MODE_SIMD } else { MODE_SCALAR }, Ordering::Relaxed);
+    on
+}
+
+// ---- dispatching kernels ----------------------------------------------
+//
+// These are the entry points the protocols use. Length agreement is a
+// debug assertion only — every implementation (scalar and vector alike)
+// bounds its pointer arithmetic by the minimum of its operand lengths,
+// so a release-mode mismatch truncates instead of reading out of
+// bounds. Dispatch is whole-kernel — one cached-flag branch per call,
+// not per block — and slices shorter than one lane block skip it
+// entirely.
+
+macro_rules! dispatch {
+    ($len:expr, $name:ident($($arg:expr),*)) => {{
+        // Below one lane block there is no vector work at all — the
+        // vector path would run only its remainder loop while paying the
+        // dispatch branch plus a non-inlinable `target_feature` call.
+        // Scalar (dim-1) payloads live entirely on this fast path, where
+        // the `#[inline]` scalar kernel collapses into the caller.
+        if $len < LANES {
+            return scalar::$name($($arg),*);
+        }
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        if simd_enabled() {
+            // SAFETY: `simd_enabled` is true only when `simd_supported`
+            // confirmed AVX2 at runtime.
+            return unsafe { avx2::$name($($arg),*) };
+        }
+        #[cfg(all(target_arch = "aarch64", not(feature = "force-scalar")))]
+        if simd_enabled() {
+            return neon::$name($($arg),*);
+        }
+        scalar::$name($($arg),*)
+    }};
+}
+
+/// `dst[k] += src[k]` — the accumulate kernel (message receipt into a
+/// flow slot, estimate accumulation).
+#[inline(always)]
+pub fn add(dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    dispatch!(dst.len(), add(dst, src))
+}
+
+/// `dst[k] -= src[k]`.
+#[inline(always)]
+pub fn sub(dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    dispatch!(dst.len(), sub(dst, src))
+}
+
+/// `dst[k] = -src[k]` — the overwrite-with-negation a receiver performs
+/// on its mirror flow (sign-bit XOR: exact, never rounds).
+#[inline(always)]
+pub fn store_neg(dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    dispatch!(dst.len(), store_neg(dst, src))
+}
+
+/// `dst[k] -= a[k] + b[k]` — the fused form of `delta = a + b;
+/// dst -= delta` (two rounded operations per component, unchanged).
+#[inline(always)]
+pub fn sub_sum(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    dispatch!(dst.len(), sub_sum(dst, a, b))
+}
+
+/// `dst[k] *= c` — payload scaling.
+#[inline(always)]
+pub fn scale(dst: &mut [f64], c: f64) {
+    dispatch!(dst.len(), scale(dst, c))
+}
+
+/// `dst[k] = -dst[k]` — in-place negation (sign-bit XOR: exact for every
+/// bit pattern including NaN, unlike multiplication by −1).
+#[inline(always)]
+pub fn neg(dst: &mut [f64]) {
+    dispatch!(dst.len(), neg(dst))
+}
+
+/// `p[k] += f[k]; b[k] += f[k]` — the hardened-mode single-slot fold:
+/// one flow accumulated into both ϕ and the base field.
+#[inline(always)]
+pub fn fold1(p: &mut [f64], b: &mut [f64], f: &[f64]) {
+    debug_assert_eq!(p.len(), f.len());
+    debug_assert_eq!(b.len(), f.len());
+    dispatch!(f.len(), fold1(p, b, f))
+}
+
+/// `t = f1[k] + f2[k]; p[k] += t; b[k] += t` — the hardened-mode
+/// whole-arc fold: both flow slots summed once, accumulated into both
+/// ϕ and the base field.
+#[inline(always)]
+pub fn fold2(p: &mut [f64], b: &mut [f64], f1: &[f64], f2: &[f64]) {
+    debug_assert_eq!(p.len(), f1.len());
+    debug_assert_eq!(p.len(), f2.len());
+    debug_assert_eq!(b.len(), f1.len());
+    dispatch!(f1.len(), fold2(p, b, f1, f2))
+}
+
+/// `b[k] += f1[k] + f2[k]` — the eager-mode whole-arc fold (ϕ already
+/// tracks the running sum, only the base field moves).
+#[inline(always)]
+pub fn add_sum(b: &mut [f64], f1: &[f64], f2: &[f64]) {
+    debug_assert_eq!(b.len(), f1.len());
+    debug_assert_eq!(b.len(), f2.len());
+    dispatch!(f1.len(), add_sum(b, f1, f2))
+}
+
+/// `dst -= row` for each `dst.len()`-sized row of `rows`, in row order —
+/// the PF estimate kernel over a node's whole arc range.
+#[inline(always)]
+pub fn sub_rows(dst: &mut [f64], rows: &[f64]) {
+    assert!(!dst.is_empty() && rows.len() % dst.len() == 0);
+    dispatch!(dst.len(), sub_rows(dst, rows))
+}
+
+/// For each `fields * dst.len()`-sized arc group of `rows`, subtract the
+/// group's first two fields from `dst` in field order — the PCF estimate
+/// kernel over a node's whole arc range.
+#[inline(always)]
+pub fn sub_leading2_rows(dst: &mut [f64], rows: &[f64], fields: usize) {
+    assert!(fields >= 2);
+    assert!(!dst.is_empty() && rows.len() % (fields * dst.len()) == 0);
+    dispatch!(dst.len(), sub_leading2_rows(dst, rows, fields))
+}
+
+/// `true` iff `a[k] == -b[k]` for every component (IEEE semantics:
+/// signed zeros compare equal, NaN never).
+#[inline(always)]
+pub fn is_neg(a: &[f64], b: &[f64]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    dispatch!(a.len(), is_neg(a, b))
+}
+
+// ---- scalar fallback --------------------------------------------------
+
+/// Scalar fallback kernels, written in the same 4-wide block + remainder
+/// shape as the vector paths. Public so the equivalence proptests and the
+/// A/B benches can pin SIMD output against them regardless of dispatch
+/// state.
+pub mod scalar {
+    use super::LANES;
+
+    /// `dst[k] += src[k]`.
+    #[inline(always)]
+    pub fn add(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len().min(src.len());
+        let mut k = 0;
+        while k + LANES <= n {
+            for j in 0..LANES {
+                dst[k + j] += src[k + j];
+            }
+            k += LANES;
+        }
+        while k < n {
+            dst[k] += src[k];
+            k += 1;
+        }
+    }
+
+    /// `dst[k] -= src[k]`.
+    #[inline(always)]
+    pub fn sub(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len().min(src.len());
+        let mut k = 0;
+        while k + LANES <= n {
+            for j in 0..LANES {
+                dst[k + j] -= src[k + j];
+            }
+            k += LANES;
+        }
+        while k < n {
+            dst[k] -= src[k];
+            k += 1;
+        }
+    }
+
+    /// `dst[k] = -src[k]`.
+    #[inline(always)]
+    pub fn store_neg(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len().min(src.len());
+        let mut k = 0;
+        while k + LANES <= n {
+            for j in 0..LANES {
+                dst[k + j] = -src[k + j];
+            }
+            k += LANES;
+        }
+        while k < n {
+            dst[k] = -src[k];
+            k += 1;
+        }
+    }
+
+    /// `dst[k] -= a[k] + b[k]`.
+    #[inline(always)]
+    pub fn sub_sum(dst: &mut [f64], a: &[f64], b: &[f64]) {
+        let n = dst.len().min(a.len()).min(b.len());
+        let mut k = 0;
+        while k + LANES <= n {
+            for j in 0..LANES {
+                dst[k + j] -= a[k + j] + b[k + j];
+            }
+            k += LANES;
+        }
+        while k < n {
+            dst[k] -= a[k] + b[k];
+            k += 1;
+        }
+    }
+
+    /// `dst[k] *= c`.
+    #[inline(always)]
+    pub fn scale(dst: &mut [f64], c: f64) {
+        let n = dst.len();
+        let mut k = 0;
+        while k + LANES <= n {
+            for j in 0..LANES {
+                dst[k + j] *= c;
+            }
+            k += LANES;
+        }
+        while k < n {
+            dst[k] *= c;
+            k += 1;
+        }
+    }
+
+    /// `dst[k] = -dst[k]`.
+    #[inline(always)]
+    pub fn neg(dst: &mut [f64]) {
+        let n = dst.len();
+        let mut k = 0;
+        while k + LANES <= n {
+            for j in 0..LANES {
+                dst[k + j] = -dst[k + j];
+            }
+            k += LANES;
+        }
+        while k < n {
+            dst[k] = -dst[k];
+            k += 1;
+        }
+    }
+
+    /// `p[k] += f[k]; b[k] += f[k]`.
+    #[inline(always)]
+    pub fn fold1(p: &mut [f64], b: &mut [f64], f: &[f64]) {
+        let n = p.len().min(b.len()).min(f.len());
+        let mut k = 0;
+        while k + LANES <= n {
+            for j in 0..LANES {
+                p[k + j] += f[k + j];
+                b[k + j] += f[k + j];
+            }
+            k += LANES;
+        }
+        while k < n {
+            p[k] += f[k];
+            b[k] += f[k];
+            k += 1;
+        }
+    }
+
+    /// `t = f1[k] + f2[k]; p[k] += t; b[k] += t`.
+    #[inline(always)]
+    pub fn fold2(p: &mut [f64], b: &mut [f64], f1: &[f64], f2: &[f64]) {
+        let n = p.len().min(b.len()).min(f1.len()).min(f2.len());
+        let mut k = 0;
+        while k + LANES <= n {
+            for j in 0..LANES {
+                let t = f1[k + j] + f2[k + j];
+                p[k + j] += t;
+                b[k + j] += t;
+            }
+            k += LANES;
+        }
+        while k < n {
+            let t = f1[k] + f2[k];
+            p[k] += t;
+            b[k] += t;
+            k += 1;
+        }
+    }
+
+    /// `b[k] += f1[k] + f2[k]`.
+    #[inline(always)]
+    pub fn add_sum(b: &mut [f64], f1: &[f64], f2: &[f64]) {
+        let n = b.len().min(f1.len()).min(f2.len());
+        let mut k = 0;
+        while k + LANES <= n {
+            for j in 0..LANES {
+                b[k + j] += f1[k + j] + f2[k + j];
+            }
+            k += LANES;
+        }
+        while k < n {
+            b[k] += f1[k] + f2[k];
+            k += 1;
+        }
+    }
+
+    /// `dst -= row` per `dst.len()`-sized row, in row order.
+    #[inline(always)]
+    pub fn sub_rows(dst: &mut [f64], rows: &[f64]) {
+        for row in rows.chunks_exact(dst.len()) {
+            sub(dst, row);
+        }
+    }
+
+    /// Subtract fields 0 and 1 of each `fields * dst.len()`-sized group.
+    #[inline(always)]
+    pub fn sub_leading2_rows(dst: &mut [f64], rows: &[f64], fields: usize) {
+        let dim = dst.len();
+        for group in rows.chunks_exact(fields * dim) {
+            sub(dst, &group[..dim]);
+            sub(dst, &group[dim..2 * dim]);
+        }
+    }
+
+    /// `all(a[k] == -b[k])`.
+    #[inline(always)]
+    pub fn is_neg(a: &[f64], b: &[f64]) -> bool {
+        let n = a.len().min(b.len());
+        let mut k = 0;
+        while k + LANES <= n {
+            for j in 0..LANES {
+                if a[k + j] != -b[k + j] {
+                    return false;
+                }
+            }
+            k += LANES;
+        }
+        while k < n {
+            if a[k] != -b[k] {
+                return false;
+            }
+            k += 1;
+        }
+        true
+    }
+}
+
+// ---- AVX2 path --------------------------------------------------------
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    // All loads/stores are unaligned (`loadu`/`storeu`): bank rows start
+    // at arbitrary `dim`-multiples inside the 64-byte-aligned slab, so a
+    // dim-3 row has no 32-byte alignment guarantee. Every kernel bounds
+    // its pointer arithmetic by the minimum of its operand lengths, so
+    // no access exceeds any slice.
+
+    const NEG: f64 = -0.0;
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len().min(src.len());
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut k = 0;
+        while k + 4 <= n {
+            let v = _mm256_add_pd(_mm256_loadu_pd(d.add(k)), _mm256_loadu_pd(s.add(k)));
+            _mm256_storeu_pd(d.add(k), v);
+            k += 4;
+        }
+        while k < n {
+            *d.add(k) += *s.add(k);
+            k += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len().min(src.len());
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut k = 0;
+        while k + 4 <= n {
+            let v = _mm256_sub_pd(_mm256_loadu_pd(d.add(k)), _mm256_loadu_pd(s.add(k)));
+            _mm256_storeu_pd(d.add(k), v);
+            k += 4;
+        }
+        while k < n {
+            *d.add(k) -= *s.add(k);
+            k += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn store_neg(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len().min(src.len());
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let sign = _mm256_set1_pd(NEG);
+        let mut k = 0;
+        while k + 4 <= n {
+            _mm256_storeu_pd(d.add(k), _mm256_xor_pd(_mm256_loadu_pd(s.add(k)), sign));
+            k += 4;
+        }
+        while k < n {
+            *d.add(k) = -*s.add(k);
+            k += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_sum(dst: &mut [f64], a: &[f64], b: &[f64]) {
+        // NOT fma: `a + b` must round before the subtraction, exactly as
+        // the scalar `*d -= *x + *y` does.
+        let n = dst.len().min(a.len()).min(b.len());
+        let (d, pa, pb) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+        let mut k = 0;
+        while k + 4 <= n {
+            let t = _mm256_add_pd(_mm256_loadu_pd(pa.add(k)), _mm256_loadu_pd(pb.add(k)));
+            _mm256_storeu_pd(d.add(k), _mm256_sub_pd(_mm256_loadu_pd(d.add(k)), t));
+            k += 4;
+        }
+        while k < n {
+            *d.add(k) -= *pa.add(k) + *pb.add(k);
+            k += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale(dst: &mut [f64], c: f64) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let vc = _mm256_set1_pd(c);
+        let mut k = 0;
+        while k + 4 <= n {
+            _mm256_storeu_pd(d.add(k), _mm256_mul_pd(_mm256_loadu_pd(d.add(k)), vc));
+            k += 4;
+        }
+        while k < n {
+            *d.add(k) *= c;
+            k += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn neg(dst: &mut [f64]) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let sign = _mm256_set1_pd(NEG);
+        let mut k = 0;
+        while k + 4 <= n {
+            _mm256_storeu_pd(d.add(k), _mm256_xor_pd(_mm256_loadu_pd(d.add(k)), sign));
+            k += 4;
+        }
+        while k < n {
+            *d.add(k) = -*d.add(k);
+            k += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fold1(p: &mut [f64], b: &mut [f64], f: &[f64]) {
+        let n = p.len().min(b.len()).min(f.len());
+        let (pp, pb, pf) = (p.as_mut_ptr(), b.as_mut_ptr(), f.as_ptr());
+        let mut k = 0;
+        while k + 4 <= n {
+            let vf = _mm256_loadu_pd(pf.add(k));
+            _mm256_storeu_pd(pp.add(k), _mm256_add_pd(_mm256_loadu_pd(pp.add(k)), vf));
+            _mm256_storeu_pd(pb.add(k), _mm256_add_pd(_mm256_loadu_pd(pb.add(k)), vf));
+            k += 4;
+        }
+        while k < n {
+            *pp.add(k) += *pf.add(k);
+            *pb.add(k) += *pf.add(k);
+            k += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fold2(p: &mut [f64], b: &mut [f64], f1: &[f64], f2: &[f64]) {
+        let n = p.len().min(b.len()).min(f1.len()).min(f2.len());
+        let (pp, pb, p1, p2) = (p.as_mut_ptr(), b.as_mut_ptr(), f1.as_ptr(), f2.as_ptr());
+        let mut k = 0;
+        while k + 4 <= n {
+            let t = _mm256_add_pd(_mm256_loadu_pd(p1.add(k)), _mm256_loadu_pd(p2.add(k)));
+            _mm256_storeu_pd(pp.add(k), _mm256_add_pd(_mm256_loadu_pd(pp.add(k)), t));
+            _mm256_storeu_pd(pb.add(k), _mm256_add_pd(_mm256_loadu_pd(pb.add(k)), t));
+            k += 4;
+        }
+        while k < n {
+            let t = *p1.add(k) + *p2.add(k);
+            *pp.add(k) += t;
+            *pb.add(k) += t;
+            k += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_sum(b: &mut [f64], f1: &[f64], f2: &[f64]) {
+        let n = b.len().min(f1.len()).min(f2.len());
+        let (pb, p1, p2) = (b.as_mut_ptr(), f1.as_ptr(), f2.as_ptr());
+        let mut k = 0;
+        while k + 4 <= n {
+            let t = _mm256_add_pd(_mm256_loadu_pd(p1.add(k)), _mm256_loadu_pd(p2.add(k)));
+            _mm256_storeu_pd(pb.add(k), _mm256_add_pd(_mm256_loadu_pd(pb.add(k)), t));
+            k += 4;
+        }
+        while k < n {
+            *pb.add(k) += *p1.add(k) + *p2.add(k);
+            k += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_rows(dst: &mut [f64], rows: &[f64]) {
+        for row in rows.chunks_exact(dst.len()) {
+            sub(dst, row);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_leading2_rows(dst: &mut [f64], rows: &[f64], fields: usize) {
+        let dim = dst.len();
+        for group in rows.chunks_exact(fields * dim) {
+            sub(dst, &group[..dim]);
+            sub(dst, &group[dim..2 * dim]);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn is_neg(a: &[f64], b: &[f64]) -> bool {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let sign = _mm256_set1_pd(NEG);
+        let mut k = 0;
+        while k + 4 <= n {
+            let x = _mm256_loadu_pd(pa.add(k));
+            let y = _mm256_xor_pd(_mm256_loadu_pd(pb.add(k)), sign);
+            let eq = _mm256_cmp_pd::<_CMP_EQ_OQ>(x, y);
+            if _mm256_movemask_pd(eq) != 0xF {
+                return false;
+            }
+            k += 4;
+        }
+        while k < n {
+            if *pa.add(k) != -*pb.add(k) {
+                return false;
+            }
+            k += 1;
+        }
+        true
+    }
+}
+
+// ---- NEON path --------------------------------------------------------
+
+#[cfg(all(target_arch = "aarch64", not(feature = "force-scalar")))]
+mod neon {
+    use core::arch::aarch64::*;
+
+    // NEON f64 vectors are 2 wide; each 4-wide block is two pairs, kept
+    // in the same block structure as the AVX2 path. NEON is a baseline
+    // feature of the aarch64 targets we build, so these are safe fns.
+
+    #[inline(always)]
+    pub fn add(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len().min(src.len());
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut k = 0;
+        unsafe {
+            while k + 4 <= n {
+                vst1q_f64(
+                    d.add(k),
+                    vaddq_f64(vld1q_f64(d.add(k)), vld1q_f64(s.add(k))),
+                );
+                vst1q_f64(
+                    d.add(k + 2),
+                    vaddq_f64(vld1q_f64(d.add(k + 2)), vld1q_f64(s.add(k + 2))),
+                );
+                k += 4;
+            }
+            while k < n {
+                *d.add(k) += *s.add(k);
+                k += 1;
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub fn sub(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len().min(src.len());
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut k = 0;
+        unsafe {
+            while k + 4 <= n {
+                vst1q_f64(
+                    d.add(k),
+                    vsubq_f64(vld1q_f64(d.add(k)), vld1q_f64(s.add(k))),
+                );
+                vst1q_f64(
+                    d.add(k + 2),
+                    vsubq_f64(vld1q_f64(d.add(k + 2)), vld1q_f64(s.add(k + 2))),
+                );
+                k += 4;
+            }
+            while k < n {
+                *d.add(k) -= *s.add(k);
+                k += 1;
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub fn store_neg(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len().min(src.len());
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut k = 0;
+        unsafe {
+            while k + 4 <= n {
+                vst1q_f64(d.add(k), vnegq_f64(vld1q_f64(s.add(k))));
+                vst1q_f64(d.add(k + 2), vnegq_f64(vld1q_f64(s.add(k + 2))));
+                k += 4;
+            }
+            while k < n {
+                *d.add(k) = -*s.add(k);
+                k += 1;
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub fn sub_sum(dst: &mut [f64], a: &[f64], b: &[f64]) {
+        let n = dst.len().min(a.len()).min(b.len());
+        let (d, pa, pb) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+        let mut k = 0;
+        unsafe {
+            while k + 4 <= n {
+                let t0 = vaddq_f64(vld1q_f64(pa.add(k)), vld1q_f64(pb.add(k)));
+                vst1q_f64(d.add(k), vsubq_f64(vld1q_f64(d.add(k)), t0));
+                let t1 = vaddq_f64(vld1q_f64(pa.add(k + 2)), vld1q_f64(pb.add(k + 2)));
+                vst1q_f64(d.add(k + 2), vsubq_f64(vld1q_f64(d.add(k + 2)), t1));
+                k += 4;
+            }
+            while k < n {
+                *d.add(k) -= *pa.add(k) + *pb.add(k);
+                k += 1;
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub fn scale(dst: &mut [f64], c: f64) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let mut k = 0;
+        unsafe {
+            let vc = vdupq_n_f64(c);
+            while k + 4 <= n {
+                vst1q_f64(d.add(k), vmulq_f64(vld1q_f64(d.add(k)), vc));
+                vst1q_f64(d.add(k + 2), vmulq_f64(vld1q_f64(d.add(k + 2)), vc));
+                k += 4;
+            }
+            while k < n {
+                *d.add(k) *= c;
+                k += 1;
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub fn neg(dst: &mut [f64]) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let mut k = 0;
+        unsafe {
+            while k + 4 <= n {
+                vst1q_f64(d.add(k), vnegq_f64(vld1q_f64(d.add(k))));
+                vst1q_f64(d.add(k + 2), vnegq_f64(vld1q_f64(d.add(k + 2))));
+                k += 4;
+            }
+            while k < n {
+                *d.add(k) = -*d.add(k);
+                k += 1;
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub fn fold1(p: &mut [f64], b: &mut [f64], f: &[f64]) {
+        let n = p.len().min(b.len()).min(f.len());
+        let (pp, pb, pf) = (p.as_mut_ptr(), b.as_mut_ptr(), f.as_ptr());
+        let mut k = 0;
+        unsafe {
+            while k + 4 <= n {
+                for h in [0, 2] {
+                    let vf = vld1q_f64(pf.add(k + h));
+                    vst1q_f64(pp.add(k + h), vaddq_f64(vld1q_f64(pp.add(k + h)), vf));
+                    vst1q_f64(pb.add(k + h), vaddq_f64(vld1q_f64(pb.add(k + h)), vf));
+                }
+                k += 4;
+            }
+            while k < n {
+                *pp.add(k) += *pf.add(k);
+                *pb.add(k) += *pf.add(k);
+                k += 1;
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub fn fold2(p: &mut [f64], b: &mut [f64], f1: &[f64], f2: &[f64]) {
+        let n = p.len().min(b.len()).min(f1.len()).min(f2.len());
+        let (pp, pb, p1, p2) = (p.as_mut_ptr(), b.as_mut_ptr(), f1.as_ptr(), f2.as_ptr());
+        let mut k = 0;
+        unsafe {
+            while k + 4 <= n {
+                for h in [0, 2] {
+                    let t = vaddq_f64(vld1q_f64(p1.add(k + h)), vld1q_f64(p2.add(k + h)));
+                    vst1q_f64(pp.add(k + h), vaddq_f64(vld1q_f64(pp.add(k + h)), t));
+                    vst1q_f64(pb.add(k + h), vaddq_f64(vld1q_f64(pb.add(k + h)), t));
+                }
+                k += 4;
+            }
+            while k < n {
+                let t = *p1.add(k) + *p2.add(k);
+                *pp.add(k) += t;
+                *pb.add(k) += t;
+                k += 1;
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub fn add_sum(b: &mut [f64], f1: &[f64], f2: &[f64]) {
+        let n = b.len().min(f1.len()).min(f2.len());
+        let (pb, p1, p2) = (b.as_mut_ptr(), f1.as_ptr(), f2.as_ptr());
+        let mut k = 0;
+        unsafe {
+            while k + 4 <= n {
+                for h in [0, 2] {
+                    let t = vaddq_f64(vld1q_f64(p1.add(k + h)), vld1q_f64(p2.add(k + h)));
+                    vst1q_f64(pb.add(k + h), vaddq_f64(vld1q_f64(pb.add(k + h)), t));
+                }
+                k += 4;
+            }
+            while k < n {
+                *pb.add(k) += *p1.add(k) + *p2.add(k);
+                k += 1;
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub fn sub_rows(dst: &mut [f64], rows: &[f64]) {
+        for row in rows.chunks_exact(dst.len()) {
+            sub(dst, row);
+        }
+    }
+
+    #[inline(always)]
+    pub fn sub_leading2_rows(dst: &mut [f64], rows: &[f64], fields: usize) {
+        let dim = dst.len();
+        for group in rows.chunks_exact(fields * dim) {
+            sub(dst, &group[..dim]);
+            sub(dst, &group[dim..2 * dim]);
+        }
+    }
+
+    #[inline(always)]
+    pub fn is_neg(a: &[f64], b: &[f64]) -> bool {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut k = 0;
+        unsafe {
+            while k + 4 <= n {
+                for h in [0, 2] {
+                    let x = vld1q_f64(pa.add(k + h));
+                    let y = vnegq_f64(vld1q_f64(pb.add(k + h)));
+                    let eq = vceqq_f64(x, y);
+                    if vgetq_lane_u64::<0>(eq) != u64::MAX || vgetq_lane_u64::<1>(eq) != u64::MAX {
+                        return false;
+                    }
+                }
+                k += 4;
+            }
+            while k < n {
+                if *pa.add(k) != -*pb.add(k) {
+                    return false;
+                }
+                k += 1;
+            }
+        }
+        true
+    }
+}
+
+// ---- forced vector entry points ---------------------------------------
+
+/// The vector path, callable directly (panics if the CPU lacks it).
+/// This exists for the A/B benches and the `kernel_equiv` proptests,
+/// which must pin the SIMD path against [`scalar`] even when dispatch
+/// has been forced off with `GR_SIMD=0`. On targets without a vector
+/// path these delegate to [`scalar`].
+pub mod simd {
+    macro_rules! forced {
+        ($(fn $name:ident($($arg:ident : $ty:ty),*) $(-> $ret:ty)?;)*) => {$(
+            #[inline]
+            #[allow(unused_variables)]
+            pub fn $name($($arg: $ty),*) $(-> $ret)? {
+                #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+                {
+                    assert!(
+                        super::simd_supported(),
+                        "SIMD kernel path requires AVX2 on x86_64"
+                    );
+                    // SAFETY: AVX2 availability asserted above.
+                    unsafe { super::avx2::$name($($arg),*) }
+                }
+                #[cfg(all(target_arch = "aarch64", not(feature = "force-scalar")))]
+                {
+                    super::neon::$name($($arg),*)
+                }
+                #[cfg(any(
+                    not(any(target_arch = "x86_64", target_arch = "aarch64")),
+                    feature = "force-scalar"
+                ))]
+                {
+                    super::scalar::$name($($arg),*)
+                }
+            }
+        )*};
+    }
+
+    forced! {
+        fn add(dst: &mut [f64], src: &[f64]);
+        fn sub(dst: &mut [f64], src: &[f64]);
+        fn store_neg(dst: &mut [f64], src: &[f64]);
+        fn sub_sum(dst: &mut [f64], a: &[f64], b: &[f64]);
+        fn scale(dst: &mut [f64], c: f64);
+        fn neg(dst: &mut [f64]);
+        fn fold1(p: &mut [f64], b: &mut [f64], f: &[f64]);
+        fn fold2(p: &mut [f64], b: &mut [f64], f1: &[f64], f2: &[f64]);
+        fn add_sum(b: &mut [f64], f1: &[f64], f2: &[f64]);
+        fn sub_rows(dst: &mut [f64], rows: &[f64]);
+        fn sub_leading2_rows(dst: &mut [f64], rows: &[f64], fields: usize);
+        fn is_neg(a: &[f64], b: &[f64]) -> bool;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_mode_is_cached_and_consistent() {
+        let first = simd_enabled();
+        assert_eq!(simd_enabled(), first);
+        if !simd_supported() {
+            assert!(!first, "dispatch cannot exceed hardware support");
+        }
+        let path = active_path();
+        assert!(["avx2", "neon", "scalar"].contains(&path));
+    }
+
+    #[test]
+    fn forced_simd_matches_scalar_on_remainder_dims() {
+        // Quick smoke across the lane boundary; the exhaustive sweep
+        // lives in tests/kernel_equiv.rs.
+        for dim in [1, 3, 4, 5, 7, 8, 16, 67] {
+            let src: Vec<f64> = (0..dim).map(|k| (k as f64) * 0.25 - 3.0).collect();
+            let mut a: Vec<f64> = (0..dim).map(|k| (k as f64).sin()).collect();
+            let mut b = a.clone();
+            simd::add(&mut a, &src);
+            scalar::add(&mut b, &src);
+            assert_eq!(a, b, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn fold_kernels_match_reference_loops() {
+        let f1: Vec<f64> = (0..7).map(|k| k as f64 * 0.3).collect();
+        let f2: Vec<f64> = (0..7).map(|k| 1.0 - k as f64).collect();
+        let mut p = vec![1.0; 7];
+        let mut b = vec![-2.0; 7];
+        fold2(&mut p, &mut b, &f1, &f2);
+        for k in 0..7 {
+            let t = f1[k] + f2[k];
+            assert_eq!(p[k].to_bits(), (1.0 + t).to_bits());
+            assert_eq!(b[k].to_bits(), (-2.0 + t).to_bits());
+        }
+        let mut b2 = vec![-2.0; 7];
+        add_sum(&mut b2, &f1, &f2);
+        assert_eq!(b, b2);
+        let mut p = vec![0.5; 5];
+        let mut b = vec![0.25; 5];
+        fold1(&mut p, &mut b, &f1[..5]);
+        for k in 0..5 {
+            assert_eq!(p[k], 0.5 + f1[k]);
+            assert_eq!(b[k], 0.25 + f1[k]);
+        }
+    }
+}

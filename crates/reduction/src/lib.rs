@@ -47,6 +47,7 @@ pub mod convergence;
 pub mod drive;
 pub mod extremum;
 pub mod flow_updating;
+pub mod kernels;
 pub mod payload;
 pub mod protocol;
 pub mod push_cancel_flow;

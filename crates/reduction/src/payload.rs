@@ -143,25 +143,17 @@ impl Payload for Vec<f64> {
     }
     fn add_assign(&mut self, rhs: &Self) {
         debug_assert_eq!(self.len(), rhs.len());
-        for (a, b) in self.iter_mut().zip(rhs) {
-            *a += *b;
-        }
+        crate::kernels::add(self, rhs);
     }
     fn sub_assign(&mut self, rhs: &Self) {
         debug_assert_eq!(self.len(), rhs.len());
-        for (a, b) in self.iter_mut().zip(rhs) {
-            *a -= *b;
-        }
+        crate::kernels::sub(self, rhs);
     }
     fn negate(&mut self) {
-        for a in self.iter_mut() {
-            *a = -*a;
-        }
+        crate::kernels::neg(self);
     }
     fn scale(&mut self, s: f64) {
-        for a in self.iter_mut() {
-            *a *= s;
-        }
+        crate::kernels::scale(self, s);
     }
     fn set_zero(&mut self) {
         self.fill(0.0);
@@ -170,7 +162,7 @@ impl Payload for Vec<f64> {
         self.len() == rhs.len() && self.iter().zip(rhs).all(|(a, b)| a == b)
     }
     fn is_neg_of(&self, rhs: &Self) -> bool {
-        self.len() == rhs.len() && self.iter().zip(rhs).all(|(a, b)| *a == -*b)
+        crate::kernels::is_neg(self, rhs)
     }
     fn components(&self) -> &[f64] {
         self
@@ -303,26 +295,18 @@ impl Payload for InlineVec {
     fn add_assign(&mut self, rhs: &Self) {
         let (a, b) = (self.as_mut_slice(), rhs.as_slice());
         debug_assert_eq!(a.len(), b.len());
-        for (a, b) in a.iter_mut().zip(b) {
-            *a += *b;
-        }
+        crate::kernels::add(a, b);
     }
     fn sub_assign(&mut self, rhs: &Self) {
         let (a, b) = (self.as_mut_slice(), rhs.as_slice());
         debug_assert_eq!(a.len(), b.len());
-        for (a, b) in a.iter_mut().zip(b) {
-            *a -= *b;
-        }
+        crate::kernels::sub(a, b);
     }
     fn negate(&mut self) {
-        for a in self.as_mut_slice() {
-            *a = -*a;
-        }
+        crate::kernels::neg(self.as_mut_slice());
     }
     fn scale(&mut self, s: f64) {
-        for a in self.as_mut_slice() {
-            *a *= s;
-        }
+        crate::kernels::scale(self.as_mut_slice(), s);
     }
     fn set_zero(&mut self) {
         self.as_mut_slice().fill(0.0);
@@ -332,8 +316,7 @@ impl Payload for InlineVec {
         a.len() == b.len() && a.iter().zip(b).all(|(a, b)| a == b)
     }
     fn is_neg_of(&self, rhs: &Self) -> bool {
-        let (a, b) = (self.as_slice(), rhs.as_slice());
-        a.len() == b.len() && a.iter().zip(b).all(|(a, b)| *a == -*b)
+        crate::kernels::is_neg(self.as_slice(), rhs.as_slice())
     }
     fn components(&self) -> &[f64] {
         self.as_slice()

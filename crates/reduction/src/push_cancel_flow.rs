@@ -523,11 +523,7 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
         {
             let (f, base) = fbank.src_dst(idx, field, BASE);
             if mode == PhiMode::Hardened {
-                let pv = phi.value.components_mut();
-                for ((p, b), &x) in pv.iter_mut().zip(base.iter_mut()).zip(f) {
-                    *p += x;
-                    *b += x;
-                }
+                bank::fold1(phi.value.components_mut(), base, f);
             } else {
                 bank::add(base, f);
             }
@@ -559,16 +555,9 @@ impl<'g, P: Payload> PushCancelFlow<'g, P> {
         {
             let (f1, f2, base) = fbank.two_src_dst(idx, F1, F2, BASE);
             if mode == PhiMode::Hardened {
-                let pv = phi.value.components_mut();
-                for (((p, b), &x), &y) in pv.iter_mut().zip(base.iter_mut()).zip(f1).zip(f2) {
-                    let t = x + y;
-                    *p += t;
-                    *b += t;
-                }
+                bank::fold2(phi.value.components_mut(), base, f1, f2);
             } else {
-                for ((b, &x), &y) in base.iter_mut().zip(f1).zip(f2) {
-                    *b += x + y;
-                }
+                bank::add_sum(base, f1, f2);
             }
         }
         let tw = s.w[F1] + s.w[F2];

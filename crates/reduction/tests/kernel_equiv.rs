@@ -1,0 +1,201 @@
+//! SIMD ≡ scalar equivalence for the lane-blocked flow-bank kernels.
+//!
+//! The kernels are componentwise, so the vector path must be *byte*
+//! identical to the scalar fallback — not approximately equal. Every
+//! comparison here is on `f64::to_bits`, across dims 1..=67 (straddling
+//! the 4-wide lane boundary, so every remainder length 0..=3 is hit many
+//! times) and both FlowBank field counts (PF = 1 field, PCF = 4 fields)
+//! for the row kernels.
+//!
+//! On hardware without a vector path `kernels::simd` delegates to the
+//! scalar implementation and the suite degenerates to a self-check.
+
+use gr_reduction::kernels::{self, scalar, simd};
+use proptest::prelude::*;
+
+/// Deterministic splitmix64-derived components. Every 16th slot is a
+/// sign-sensitive or boundary special (±0.0, ±∞, denormal, ±huge) so
+/// block and remainder lanes both see them.
+fn gen_vec(len: usize, mut seed: u64) -> Vec<f64> {
+    const SPECIALS: [f64; 8] = [
+        0.0,
+        -0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MIN_POSITIVE,
+        5e-324,
+        f64::MAX,
+        -f64::MAX,
+    ];
+    (0..len)
+        .map(|i| {
+            seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            if i % 16 == 15 {
+                SPECIALS[(z % 8) as usize]
+            } else {
+                (z as f64 / u64::MAX as f64 - 0.5) * 2e12
+            }
+        })
+        .collect()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #[test]
+    fn two_arg_kernels_simd_match_scalar(dim in 1usize..=67, seed in 0u64..u64::MAX) {
+        let d = gen_vec(dim, seed);
+        let s = gen_vec(dim, seed.rotate_left(13));
+        // add
+        let (mut a, mut b) = (d.clone(), d.clone());
+        simd::add(&mut a, &s);
+        scalar::add(&mut b, &s);
+        prop_assert_eq!(bits(&a), bits(&b));
+        // sub
+        let (mut a, mut b) = (d.clone(), d.clone());
+        simd::sub(&mut a, &s);
+        scalar::sub(&mut b, &s);
+        prop_assert_eq!(bits(&a), bits(&b));
+        // store_neg
+        let (mut a, mut b) = (d.clone(), d.clone());
+        simd::store_neg(&mut a, &s);
+        scalar::store_neg(&mut b, &s);
+        prop_assert_eq!(bits(&a), bits(&b));
+        // scale / neg
+        let (mut a, mut b) = (d.clone(), d.clone());
+        simd::scale(&mut a, 0.7418);
+        scalar::scale(&mut b, 0.7418);
+        prop_assert_eq!(bits(&a), bits(&b));
+        let (mut a, mut b) = (d.clone(), d.clone());
+        simd::neg(&mut a);
+        scalar::neg(&mut b);
+        prop_assert_eq!(bits(&a), bits(&b));
+        // is_neg: arbitrary input (almost always false) ...
+        prop_assert_eq!(simd::is_neg(&d, &s), scalar::is_neg(&d, &s));
+        // ... and a constructed all-negated pair (true unless ±∞/NaN mix).
+        let negs: Vec<f64> = d.iter().map(|x| -x).collect();
+        prop_assert_eq!(simd::is_neg(&d, &negs), scalar::is_neg(&d, &negs));
+        prop_assert!(scalar::is_neg(&d, &negs));
+    }
+
+    #[test]
+    fn three_arg_kernels_simd_match_scalar(dim in 1usize..=67, seed in 0u64..u64::MAX) {
+        let d = gen_vec(dim, seed);
+        let x = gen_vec(dim, seed.rotate_left(7));
+        let y = gen_vec(dim, seed.rotate_left(29));
+        // sub_sum
+        let (mut a, mut b) = (d.clone(), d.clone());
+        simd::sub_sum(&mut a, &x, &y);
+        scalar::sub_sum(&mut b, &x, &y);
+        prop_assert_eq!(bits(&a), bits(&b));
+        // add_sum
+        let (mut a, mut b) = (d.clone(), d.clone());
+        simd::add_sum(&mut a, &x, &y);
+        scalar::add_sum(&mut b, &x, &y);
+        prop_assert_eq!(bits(&a), bits(&b));
+        // fold1 (two destinations, one source)
+        let (mut p1, mut b1) = (d.clone(), x.clone());
+        let (mut p2, mut b2) = (d.clone(), x.clone());
+        simd::fold1(&mut p1, &mut b1, &y);
+        scalar::fold1(&mut p2, &mut b2, &y);
+        prop_assert_eq!(bits(&p1), bits(&p2));
+        prop_assert_eq!(bits(&b1), bits(&b2));
+        // fold2 (two destinations, two sources)
+        let (mut p1, mut b1) = (d.clone(), d.clone());
+        let (mut p2, mut b2) = (d.clone(), d.clone());
+        simd::fold2(&mut p1, &mut b1, &x, &y);
+        scalar::fold2(&mut p2, &mut b2, &x, &y);
+        prop_assert_eq!(bits(&p1), bits(&p2));
+        prop_assert_eq!(bits(&b1), bits(&b2));
+    }
+
+    /// Row kernels at both FlowBank field counts: PF banks have 1 field
+    /// per arc (`sub_rows`), PCF banks have 4 (`sub_leading2_rows`).
+    #[test]
+    fn row_kernels_simd_match_scalar(
+        dim in 1usize..=67,
+        narcs in 1usize..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let d0 = gen_vec(dim, seed ^ 0x9e37_79b9);
+        // PF: fields = 1.
+        let rows = gen_vec(narcs * dim, seed);
+        let (mut a, mut b) = (d0.clone(), d0.clone());
+        simd::sub_rows(&mut a, &rows);
+        scalar::sub_rows(&mut b, &rows);
+        prop_assert_eq!(bits(&a), bits(&b));
+        // PCF: fields = 4.
+        let rows4 = gen_vec(narcs * 4 * dim, seed.rotate_left(17));
+        let (mut a, mut b) = (d0.clone(), d0);
+        simd::sub_leading2_rows(&mut a, &rows4, 4);
+        scalar::sub_leading2_rows(&mut b, &rows4, 4);
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+}
+
+/// Boundary pins: every remainder class at the lane width, plus exact
+/// sign/zero semantics — deterministic, no generated inputs.
+#[test]
+fn boundary_dims_and_special_values_pin() {
+    for dim in [1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65, 66, 67] {
+        let src: Vec<f64> = (0..dim).map(|k| (k as f64 - 2.0) * 0.5).collect();
+        let dst: Vec<f64> = (0..dim).map(|k| (k as f64) * 1.25 + 0.125).collect();
+        let (mut a, mut b) = (dst.clone(), dst.clone());
+        simd::add(&mut a, &src);
+        scalar::add(&mut b, &src);
+        assert_eq!(bits(&a), bits(&b), "add dim {dim}");
+        // the dispatching entry point agrees with both
+        let mut c = dst.clone();
+        kernels::add(&mut c, &src);
+        assert_eq!(bits(&c), bits(&b), "dispatch add dim {dim}");
+    }
+    // Signed-zero semantics: 0.0 == -(-0.0) and -0.0 == -(0.0) per IEEE.
+    let pos = [0.0, -0.0, 1.0, -1.0, 2.5];
+    let neg = [-0.0, 0.0, -1.0, 1.0, -2.5];
+    assert!(simd::is_neg(&pos, &neg));
+    assert!(scalar::is_neg(&pos, &neg));
+    // NaN never equals anything, on either path, in block or remainder.
+    let mut a = vec![1.0; 6];
+    let mut b = vec![-1.0; 6];
+    for lane in 0..6 {
+        a[lane] = f64::NAN;
+        assert!(!simd::is_neg(&a, &b), "NaN lane {lane}");
+        assert!(!scalar::is_neg(&a, &b), "NaN lane {lane}");
+        a[lane] = 1.0;
+        b[lane] = f64::NAN;
+        assert!(!simd::is_neg(&a, &b), "NaN lane {lane}");
+        assert!(!scalar::is_neg(&a, &b), "NaN lane {lane}");
+        b[lane] = -1.0;
+    }
+    // Negation is a sign-bit flip even for NaN (exact, never rounds).
+    let mut v = vec![f64::NAN, -f64::NAN, 0.0, -0.0, 3.0];
+    let mut w = v.clone();
+    simd::neg(&mut v);
+    scalar::neg(&mut w);
+    assert_eq!(bits(&v), bits(&w));
+    assert_eq!(v[2].to_bits(), (-0.0f64).to_bits());
+    assert_eq!(v[3].to_bits(), 0.0f64.to_bits());
+}
+
+/// The dispatch state is hardware-bounded and the env override works in
+/// the direction that matters (can force scalar, can never force SIMD
+/// onto hardware that lacks it).
+#[test]
+fn dispatch_never_exceeds_hardware() {
+    if !kernels::simd_supported() {
+        assert!(!kernels::simd_enabled());
+        assert_eq!(kernels::active_path(), "scalar");
+    }
+    if std::env::var_os("GR_SIMD").is_some_and(|v| v == "0") {
+        assert!(
+            !kernels::simd_enabled(),
+            "GR_SIMD=0 must force scalar dispatch"
+        );
+    }
+}

@@ -68,6 +68,11 @@ struct Report {
     max_rel_error: f64,
     self_consistency: f64,
     mass_weight: f64,
+    /// What the netsim twin's auto-partitioner would decide for this
+    /// topology (count, source, and cost-model terms when measured).
+    /// Transport clusters run one thread per node, so this is advisory:
+    /// it documents the decision the deterministic twin gate replays.
+    partitions: gr_netsim::PartitionPlan,
 }
 
 fn run_payload<P: Payload + Sync>(
@@ -268,6 +273,7 @@ fn main() {
         max_rel_error: result.max_rel_error,
         self_consistency: result.self_consistency,
         mass_weight: result.mass_weight,
+        partitions: gr_netsim::SimOptions::default().partition_plan(n, graph.arc_count()),
     };
     if json {
         println!(
